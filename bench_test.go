@@ -1,0 +1,584 @@
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers). Each benchmark prints
+// its headline quantities through b.ReportMetric / b.Logf:
+//
+//	go test -bench=. -benchmem
+//
+// Naming: BenchmarkTableN_* and BenchmarkFigN_* map one-to-one onto the
+// paper's evaluation artifacts; BenchmarkScaling_* and BenchmarkAblation_*
+// cover the §8 scale claims and the §5.1 design-choice claims.
+package impeccable
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"impeccable/internal/analysis"
+	"impeccable/internal/campaign"
+	"impeccable/internal/chem"
+	"impeccable/internal/deepdrive"
+	"impeccable/internal/dock"
+	"impeccable/internal/esmacs"
+	"impeccable/internal/hpc"
+	"impeccable/internal/latent"
+	"impeccable/internal/raptor"
+	"impeccable/internal/receptor"
+	"impeccable/internal/surrogate"
+	"impeccable/internal/ties"
+	"impeccable/internal/xrand"
+)
+
+// fastCG/fastFG shrink MD durations while preserving the CG:FG structure
+// (replica counts and duration ratios), so benches finish in seconds.
+func fastCG() esmacs.Protocol {
+	p := esmacs.CG()
+	p.EquilSteps, p.ProdSteps, p.MinimizeIters = 40, 160, 25
+	return p
+}
+
+func fastFG() esmacs.Protocol {
+	p := esmacs.FG()
+	p.EquilSteps, p.ProdSteps, p.MinimizeIters = 80, 400, 40
+	return p
+}
+
+// BenchmarkTable2_CostLadder measures the wall-clock cost per ligand of
+// each integrated method on this substrate and reports the cost ratios
+// that Table 2 normalizes to node-hours. The paper's ladder spans ~6
+// orders of magnitude (docking 1e-4 → FG 5 node-h); the reproduced
+// ladder's *ratios* are the comparable quantity.
+func BenchmarkTable2_CostLadder(b *testing.B) {
+	tg := receptor.PLPro()
+	m := chem.FromID(42)
+	for i := 0; i < b.N; i++ {
+		runner := esmacs.NewRunner(tg, 1)
+		eng := dock.NewEngine(tg, 1)
+		runner.Workers = 1 // measure cost, not host parallelism
+		eng.Workers = 1
+		eng.Params.Runs = 2
+
+		tDock := wallSeconds(func() { eng.DockOne(m) })
+		cgEst := esmacs.Estimate{}
+		tCG := wallSeconds(func() { cgEst = runner.Estimate(m, nil, fastCG()) })
+		tFG := wallSeconds(func() { runner.Estimate(m, nil, fastFG()) })
+		_ = cgEst
+
+		b.ReportMetric(tCG/tDock, "CG/dock-cost-ratio")
+		b.ReportMetric(tFG/tCG, "FG/CG-cost-ratio")
+		b.Logf("measured: dock %.4fs, CG %.2fs, FG %.2fs per ligand (paper node-h: 1e-4, 0.5, 5)",
+			tDock, tCG, tFG)
+	}
+}
+
+// BenchmarkTable3_ML1Throughput measures surrogate inference throughput
+// (paper: 319,674 ligands/s on 1536 GPUs; per-GPU ≈ 208 lig/s).
+func BenchmarkTable3_ML1Throughput(b *testing.B) {
+	model := surrogate.NewModel(1)
+	ids := make([]uint64, 4096)
+	r := xrand.New(1)
+	for i := range ids {
+		ids[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		model.PredictIDs(ids, 0)
+		n += len(ids)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(n)/secs, "ligands/s")
+		b.ReportMetric(float64(model.InferenceFlops(n))/secs, "flop/s")
+	}
+}
+
+// BenchmarkTable3_S1Throughput measures docking throughput (paper:
+// 14,252 ligands/s on 6000 GPUs; per-GPU ≈ 2.4 lig/s).
+func BenchmarkTable3_S1Throughput(b *testing.B) {
+	eng := dock.NewEngine(receptor.PLPro(), 1)
+	eng.Params.Runs = 1
+	eng.Params.Generations = 10
+	mols := make([]*chem.Molecule, 32)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(i))
+	}
+	b.ResetTimer()
+	var n int
+	var flops int64
+	for i := 0; i < b.N; i++ {
+		for _, res := range eng.DockBatch(mols) {
+			flops += res.Flops
+		}
+		n += len(mols)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(n)/secs, "ligands/s")
+		b.ReportMetric(float64(flops)/secs, "flop/s")
+	}
+}
+
+// BenchmarkTable3_S3Throughput measures CG and FG estimation throughput
+// (paper: 2000 and 200 "ligand/s" rows of Table 3 — whose 10:1 ratio is
+// the reproducible shape).
+func BenchmarkTable3_S3Throughput(b *testing.B) {
+	tg := receptor.PLPro()
+	runner := esmacs.NewRunner(tg, 1)
+	m := chem.FromID(7)
+	runner.Workers = 1 // measure cost, not host parallelism
+	b.ResetTimer()
+	var tCG, tFG float64
+	for i := 0; i < b.N; i++ {
+		tCG += wallSeconds(func() { runner.Estimate(m, nil, fastCG()) })
+		tFG += wallSeconds(func() { runner.Estimate(m, nil, fastFG()) })
+	}
+	b.StopTimer()
+	if tCG > 0 && tFG > 0 {
+		b.ReportMetric(float64(b.N)/tCG, "CG-ligands/s")
+		b.ReportMetric(float64(b.N)/tFG, "FG-ligands/s")
+		b.ReportMetric((float64(b.N)/tCG)/(float64(b.N)/tFG), "CG:FG-ratio")
+	}
+}
+
+// BenchmarkFig4_RES trains ML1 on docking scores and evaluates the
+// regression enrichment surface. The paper reads RES(δ=10⁻³·u): ≈50 % of
+// the top 10⁻⁴ and ≈40 % of the top 10⁻³ captured.
+func BenchmarkFig4_RES(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		r := xrand.New(3)
+		// Docking-score targets: oracle + docking-grade noise stands in
+		// for full docking here to keep the bench minutes-scale; the
+		// examples/docking-campaign program uses real docking output.
+		n := 20000
+		mols := make([]*chem.Molecule, n)
+		truth := make([]float64, n)
+		for j := 0; j < n; j++ {
+			mols[j] = chem.FromID(r.Uint64())
+			truth[j] = tg.TrueAffinity(mols[j]) + r.Norm(0, 1.5)
+		}
+		model := surrogate.NewModel(11)
+		cfg := surrogate.DefaultTrainConfig()
+		cfg.Epochs = 20
+		if _, err := model.Fit(mols[:4000], truth[:4000], cfg); err != nil {
+			b.Fatal(err)
+		}
+		pred := model.Predict(mols)
+		res := surrogate.ComputeRES(pred, truth, surrogate.DefaultFractions(), surrogate.DefaultFractions())
+		capFine := res.At(1e-3, 1e-4)
+		capSame := res.At(1e-3, 1e-3)
+		b.ReportMetric(capFine, "RES(1e-3,1e-4)")
+		b.ReportMetric(capSame, "RES(1e-3,1e-3)")
+		b.Logf("RES at δ=1e-3: capture %.0f%% of top 1e-4, %.0f%% of top 1e-3 (paper: ~50%%, ~40%%)",
+			100*capFine, 100*capSame)
+	}
+}
+
+// BenchmarkFig5A_DeltaGHistogram reproduces the CG-ESMACS binding
+// free-energy distribution (paper: unimodal, ≈[-60, +20] kcal/mol).
+func BenchmarkFig5A_DeltaGHistogram(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		runner := esmacs.NewRunner(tg, 5)
+		r := xrand.New(4)
+		proto := fastCG()
+		dgs := make([]float64, 0, 40)
+		for j := 0; j < 40; j++ {
+			dgs = append(dgs, runner.Estimate(chem.FromID(r.Uint64()), nil, proto).DeltaG)
+		}
+		s := analysis.Summarize(dgs)
+		h := analysis.NewHistogram(dgs, -60, 20, 16)
+		b.ReportMetric(s.Mean, "mean-dG")
+		b.ReportMetric(s.Min, "min-dG")
+		b.ReportMetric(s.Max, "max-dG")
+		b.Logf("ΔG distribution: mean %.1f, [%.1f, %.1f] kcal/mol; mode bin %.1f\n%s",
+			s.Mean, s.Min, s.Max, h.BinCenter(h.Mode()), h.Render(30))
+	}
+}
+
+// BenchmarkFig5B_RMSDDistribution reproduces the ensemble RMSD summary
+// (paper: tight distribution with a few high-fluctuation LPCs > 1.9 Å).
+func BenchmarkFig5B_RMSDDistribution(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		runner := esmacs.NewRunner(tg, 6)
+		r := xrand.New(5)
+		proto := fastCG()
+		var rmsds []float64
+		outliers := 0
+		for j := 0; j < 24; j++ {
+			est := runner.Estimate(chem.FromID(r.Uint64()), nil, proto)
+			rmsds = append(rmsds, est.MeanRMSD)
+			if est.MaxRMSD > 1.9 {
+				outliers++
+			}
+		}
+		s := analysis.Summarize(rmsds)
+		b.ReportMetric(s.Median, "median-RMSD")
+		b.ReportMetric(float64(outliers), "LPCs-above-1.9A")
+		b.Logf("RMSD: median %.2f Å (IQR %.2f–%.2f), %d/24 LPCs exceed 1.9 Å",
+			s.Median, s.Q25, s.Q75, outliers)
+	}
+}
+
+// BenchmarkFig5C_LatentSpace trains the 3D-AAE on CG trajectories, embeds
+// them, t-SNE-projects the validation set and verifies that LOF outliers
+// separate high-RMSD conformations (the Fig. 5C structure).
+func BenchmarkFig5C_LatentSpace(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		runner := esmacs.NewRunner(tg, 7)
+		runner.KeepTrajectories = true
+		r := xrand.New(6)
+		proto := fastCG()
+		var ests []esmacs.Estimate
+		for j := 0; j < 4; j++ {
+			ests = append(ests, runner.Estimate(chem.FromID(r.Uint64()), nil, proto))
+		}
+		d := deepdrive.NewDriver(tg)
+		d.Cfg.Epochs = 6
+		d.Cfg.MaxFrames = 160
+		rep, err := d.Run(ests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Project to 2-D for the figure and quantify outlier/RMSD link.
+		cfg := latent.DefaultTSNEConfig()
+		cfg.Iters = 120
+		emb2d := latent.TSNE(rep.Embeddings, cfg)
+		_ = emb2d
+		var rmsdOut, rmsdIn float64
+		var nOut, nIn int
+		top := latent.TopOutliers(rep.LOF, len(rep.LOF)/10)
+		isTop := map[int]bool{}
+		for _, t := range top {
+			isTop[t] = true
+		}
+		for j, ref := range rep.Refs {
+			if isTop[j] {
+				rmsdOut += ref.RMSD
+				nOut++
+			} else {
+				rmsdIn += ref.RMSD
+				nIn++
+			}
+		}
+		ratio := (rmsdOut / float64(nOut)) / (rmsdIn / float64(nIn))
+		b.ReportMetric(rep.ValRecon, "val-chamfer")
+		b.ReportMetric(ratio, "outlier-RMSD-ratio")
+		b.Logf("val Chamfer %.4f; LOF outliers have %.2f× the RMSD of inliers", rep.ValRecon, ratio)
+	}
+}
+
+// BenchmarkFig6_CGvsFG runs a full campaign iteration and compares CG vs
+// FG estimates of the top compounds (paper: FG lower for all five).
+func BenchmarkFig6_CGvsFG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := campaign.DefaultConfig(receptor.PLPro())
+		cfg.LibrarySize = 1200
+		cfg.TrainSize = 250
+		cfg.CGCount = 6
+		cfg.TopCompounds = 3
+		cfg.OutliersPer = 3
+		cfg.FastProtocols = true
+		p := dock.DefaultParams()
+		p.Runs = 1
+		p.Generations = 10
+		cfg.DockParams = &p
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lower := 0
+		for _, tc := range res.Top {
+			if tc.FG < tc.CG {
+				lower++
+			}
+			b.Logf("mol %012x: CG %.1f±%.1f  FG %.1f±%.1f  (truth %.1f)",
+				tc.MolID, tc.CG, tc.CGErr, tc.FG, tc.FGErr, tc.Truth)
+		}
+		b.ReportMetric(float64(lower)/float64(len(res.Top)), "frac-FG-below-CG")
+	}
+}
+
+// BenchmarkFig7_Utilization reproduces the node-utilization time series
+// of the integrated (S3-CG)-(S2)-(S3-FG) workload and the claim that
+// runtime overheads are invariant to scale.
+func BenchmarkFig7_Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := campaign.DefaultSimConfig()
+		res := campaign.RunSim(cfg)
+		ts := make([]float64, len(res.Trace))
+		vs := make([]float64, len(res.Trace))
+		for j, s := range res.Trace {
+			ts[j] = s.Time / 3600
+			vs[j] = float64(s.BusyNodes)
+		}
+		b.ReportMetric(res.Utilization, "utilization")
+		b.ReportMetric(res.MeanSchedulingDelay, "sched-delay-s")
+		b.Logf("makespan %.1f h, utilization %.0f%%, mean scheduling delay %.1f s\n%s",
+			res.Makespan/3600, 100*res.Utilization, res.MeanSchedulingDelay,
+			analysis.TimeSeries(ts, vs, 64, 8))
+	}
+}
+
+// BenchmarkScaling_RAPTOR sweeps the docking overlay over node counts,
+// reproducing near-linear scaling to thousands of nodes and the §8
+// 40 M-docks/hour headline.
+func BenchmarkScaling_RAPTOR(b *testing.B) {
+	for _, nodes := range []int{64, 256, 1024, 4000} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("nodes-%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := campaign.SimDockingAtScale(nodes, nodes*500, 1)
+				b.ReportMetric(res.Throughput, "docks/s")
+				b.ReportMetric(res.DocksPerHour/1e6, "Mdocks/hour")
+				b.ReportMetric(res.Utilization, "utilization")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_LocalSearch compares the two AutoDock-GPU local
+// search methods (§5.1.1: ADADELTA improves pose quality over
+// Solis-Wets at higher per-evaluation cost).
+func BenchmarkAblation_LocalSearch(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		var swScore, adScore float64
+		var swEvals, adEvals int64
+		const n = 8
+		for j := 0; j < n; j++ {
+			m := chem.FromID(uint64(100 + j))
+			sw := dock.Dock(dock.NewScoreFunc(tg, m), dock.DefaultParams(), xrand.NewFrom(1, uint64(j)))
+			ad := dock.Dock(dock.NewScoreFunc(tg, m), dock.QualityParams(), xrand.NewFrom(1, uint64(j)))
+			swScore += sw.Score
+			adScore += ad.Score
+			swEvals += sw.Evals
+			adEvals += ad.Evals
+		}
+		b.ReportMetric(swScore/n, "solis-wets-score")
+		b.ReportMetric(adScore/n, "adadelta-score")
+		b.ReportMetric(float64(adEvals)/float64(swEvals), "adadelta-eval-cost-ratio")
+	}
+}
+
+// BenchmarkAblation_EnsembleVariance reproduces §5.1.3: single-trajectory
+// MMPBSA has far higher seed-to-seed variance than the 6-replica CG
+// ensemble, which FG tightens further.
+func BenchmarkAblation_EnsembleVariance(b *testing.B) {
+	tg := receptor.PLPro()
+	m := chem.FromID(11)
+	for i := 0; i < b.N; i++ {
+		spread := func(proto esmacs.Protocol) float64 {
+			var dgs []float64
+			for seed := uint64(0); seed < 6; seed++ {
+				dgs = append(dgs, esmacs.NewRunner(tg, seed).Estimate(m, nil, proto).DeltaG)
+			}
+			return analysis.Summarize(dgs).Std
+		}
+		single := fastCG()
+		single.Replicas = 1
+		sd1 := spread(single)
+		sd6 := spread(fastCG())
+		b.ReportMetric(sd1, "sd-1-replica")
+		b.ReportMetric(sd6, "sd-6-replica")
+		b.ReportMetric(sd1/sd6, "variance-reduction")
+	}
+}
+
+// BenchmarkAblation_Featurization compares the paper's image/CNN ML1
+// featurization (§5.1.2: 2-D depictions through a convolutional network)
+// against the fingerprint MLP on the same docking labels.
+func BenchmarkAblation_Featurization(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		r := xrand.New(13)
+		n := 2400
+		mols := make([]*chem.Molecule, n)
+		truth := make([]float64, n)
+		for j := 0; j < n; j++ {
+			mols[j] = chem.FromID(r.Uint64())
+			truth[j] = tg.TrueAffinity(mols[j]) + r.Norm(0, 1.5)
+		}
+		cfg := surrogate.DefaultTrainConfig()
+		cfg.Epochs = 12
+
+		mlp := surrogate.NewModel(5)
+		if _, err := mlp.Fit(mols[:1200], truth[:1200], cfg); err != nil {
+			b.Fatal(err)
+		}
+		cnn := surrogate.NewCNNModel(5)
+		cfgCNN := cfg
+		cfgCNN.LR = 2e-3
+		if _, err := cnn.Fit(mols[:1200], truth[:1200], cfgCNN); err != nil {
+			b.Fatal(err)
+		}
+		hold, holdT := mols[1200:], truth[1200:]
+		mlpRho := surrogate.Spearman(mlp.Predict(hold), holdT)
+		cnnRho := surrogate.Spearman(cnn.Predict(hold), holdT)
+		mlpEF := surrogate.EnrichmentFactor(mlp.Predict(hold), holdT, 0.05)
+		cnnEF := surrogate.EnrichmentFactor(cnn.Predict(hold), holdT, 0.05)
+		b.ReportMetric(mlpRho, "mlp-spearman")
+		b.ReportMetric(cnnRho, "cnn-spearman")
+		b.Logf("fingerprint MLP: ρ=%.3f EF(5%%)=%.1f; image CNN: ρ=%.3f EF(5%%)=%.1f",
+			mlpRho, mlpEF, cnnRho, cnnEF)
+	}
+}
+
+// BenchmarkIteration_ActiveLearning runs three campaign iterations with
+// the accumulated docking-label pool (§8: "over time the ML component
+// models improve such that the overall workflow becomes tuned to the
+// specific target problem").
+func BenchmarkIteration_ActiveLearning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := campaign.DefaultConfig(receptor.PLPro())
+		cfg.LibrarySize = 900
+		cfg.TrainSize = 200
+		cfg.CGCount = 6
+		cfg.TopCompounds = 3
+		cfg.OutliersPer = 2
+		cfg.FastProtocols = true
+		p := dock.DefaultParams()
+		p.Runs = 1
+		p.Generations = 10
+		p.Population = 24
+		cfg.DockParams = &p
+		_, sums, err := campaign.RunIterations(cfg, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sums {
+			b.Logf("iter %d: pool %d, yield %.2f, bestCG %.1f (truth %.1f), val loss %.4f",
+				s.Iteration, s.PoolSize, s.Yield, s.BestCG, s.BestTruth, s.ValLoss)
+		}
+		first, last := sums[0], sums[len(sums)-1]
+		b.ReportMetric(first.ValLoss, "val-loss-iter0")
+		b.ReportMetric(last.ValLoss, "val-loss-final")
+	}
+}
+
+// BenchmarkTIES_Transformation exercises the lead-optimization stage the
+// paper lists in Table 2 but did not integrate: an 8/8-sign-accurate
+// relative binding free energy at ~2 orders of magnitude the FG cost.
+func BenchmarkTIES_Transformation(b *testing.B) {
+	tg := receptor.PLPro()
+	a, c := chem.FromID(101), chem.FromID(102)
+	cfg := ties.Default()
+	cfg.Windows = 5
+	cfg.Replicas = 3
+	cfg.EquilSteps, cfg.ProdSteps, cfg.MinimizeIters = 40, 160, 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ties.Compute(tg, a, c, cfg, 1)
+		b.ReportMetric(res.DeltaDeltaG, "ddG")
+		b.ReportMetric(res.StdErr, "ddG-stderr")
+	}
+}
+
+// BenchmarkAblation_BulkSize sweeps the RAPTOR bulk size: too-small bulks
+// flood the masters with messages (§6.1.2 mechanism i), too-large bulks
+// defeat dynamic load balancing on long-tailed workloads.
+func BenchmarkAblation_BulkSize(b *testing.B) {
+	for _, bulk := range []int{1, 8, 64, 512} {
+		bulk := bulk
+		b.Run(fmt.Sprintf("bulk-%d", bulk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clk := hpc.NewSimClock()
+				cfg := raptor.DefaultConfig(64)
+				cfg.BulkSize = bulk
+				o := raptor.New(clk, cfg)
+				r := xrand.New(1)
+				durs := make([]float64, 64*400)
+				for j := range durs {
+					durs[j] = 0.4 * mathexp(r.Norm(0, 0.5))
+				}
+				st := o.RunSim(durs, clk)
+				b.ReportMetric(st.Throughput, "docks/s")
+				b.ReportMetric(float64(st.Bulks), "bulks")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_WorkerFailures measures RAPTOR throughput under
+// increasing worker-crash rates (the §6.1.1 resilience requirement).
+func BenchmarkAblation_WorkerFailures(b *testing.B) {
+	for _, p := range []float64{0, 0.002, 0.01} {
+		p := p
+		b.Run(fmt.Sprintf("failure-%.3f", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clk := hpc.NewSimClock()
+				cfg := raptor.DefaultConfig(32)
+				cfg.FailureProb = p
+				cfg.RestartDelay = 3
+				o := raptor.New(clk, cfg)
+				r := xrand.New(2)
+				durs := make([]float64, 32*500)
+				for j := range durs {
+					durs[j] = 0.3 * mathexp(r.Norm(0, 0.5))
+				}
+				st := o.RunSim(durs, clk)
+				b.ReportMetric(st.Throughput, "docks/s")
+				b.ReportMetric(float64(st.Failures), "crashes")
+			}
+		})
+	}
+}
+
+func mathexp(x float64) float64 { return math.Exp(x) }
+
+// BenchmarkTransfer_OZDtoORD reproduces the §7.1 library-transfer
+// experiment: the ORD library was "chosen ... for the purposes of testing
+// if ML1 can indeed be used for transferring knowledge learned from one
+// library to another". Train on OZD docking labels, evaluate enrichment
+// on ORD compounds outside the 1.5 M-equivalent overlap.
+func BenchmarkTransfer_OZDtoORD(b *testing.B) {
+	tg := receptor.PLPro()
+	for i := 0; i < b.N; i++ {
+		ozd, ord := chem.StandardLibraries(7, 0.002) // 13 k compounds each
+		r := xrand.New(3)
+		label := func(m *chem.Molecule) float64 {
+			return tg.TrueAffinity(m) + r.Norm(0, 1.5)
+		}
+		// Train on an OZD sample.
+		trainIdx := r.SampleK(ozd.Size(), 4000)
+		mols := make([]*chem.Molecule, len(trainIdx))
+		scores := make([]float64, len(trainIdx))
+		for j, idx := range trainIdx {
+			mols[j] = ozd.At(idx)
+			scores[j] = label(mols[j])
+		}
+		model := surrogate.NewModel(11)
+		cfg := surrogate.DefaultTrainConfig()
+		cfg.Epochs = 20
+		if _, err := model.Fit(mols, scores, cfg); err != nil {
+			b.Fatal(err)
+		}
+		// Evaluate on ORD compounds outside the overlap.
+		overlap := chem.Overlap(ozd, ord)
+		var testMols []*chem.Molecule
+		var testScores []float64
+		for j := overlap; j < ord.Size() && len(testMols) < 4000; j++ {
+			m := ord.At(j)
+			testMols = append(testMols, m)
+			testScores = append(testScores, label(m))
+		}
+		pred := model.Predict(testMols)
+		ef := surrogate.EnrichmentFactor(pred, testScores, 0.05)
+		rho := surrogate.Spearman(pred, testScores)
+		b.ReportMetric(ef, "ORD-EF(5%)")
+		b.ReportMetric(rho, "ORD-spearman")
+		b.Logf("OZD-trained model on held-out ORD: EF(5%%) = %.1f, Spearman = %.3f", ef, rho)
+	}
+}
+
+// wallSeconds times fn once.
+func wallSeconds(fn func()) float64 {
+	t := testingClock()
+	fn()
+	return testingClock() - t
+}

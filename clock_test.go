@@ -1,0 +1,9 @@
+package impeccable
+
+import "time"
+
+var benchEpoch = time.Now()
+
+// testingClock returns seconds since process bench epoch (helper for the
+// cost-ladder benchmarks, which time heterogeneous single-shot work).
+func testingClock() float64 { return time.Since(benchEpoch).Seconds() }

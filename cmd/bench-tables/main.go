@@ -1,0 +1,336 @@
+// Command bench-tables regenerates the paper's evaluation artifacts as
+// text tables and ASCII figures, optionally writing CSVs for external
+// plotting.
+//
+// Usage:
+//
+//	bench-tables [-table2] [-table3] [-fig4] [-fig5] [-fig6] [-fig7]
+//	             [-scaling] [-all] [-csv DIR] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"impeccable/internal/analysis"
+	"impeccable/internal/campaign"
+	"impeccable/internal/chem"
+	"impeccable/internal/deepdrive"
+	"impeccable/internal/dock"
+	"impeccable/internal/esmacs"
+	"impeccable/internal/latent"
+	"impeccable/internal/receptor"
+	"impeccable/internal/surrogate"
+	"impeccable/internal/xrand"
+)
+
+var csvDir = flag.String("csv", "", "directory to write CSV outputs (optional)")
+
+func main() {
+	var (
+		t2      = flag.Bool("table2", false, "method cost ladder")
+		t3      = flag.Bool("table3", false, "component throughput")
+		f4      = flag.Bool("fig4", false, "RES profile")
+		f5      = flag.Bool("fig5", false, "CG ΔG histogram + RMSD + latent")
+		f6      = flag.Bool("fig6", false, "CG vs FG for top compounds")
+		f7      = flag.Bool("fig7", false, "node utilization time series")
+		scaling = flag.Bool("scaling", false, "RAPTOR docking scaling sweep")
+		all     = flag.Bool("all", false, "everything")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+	if *all {
+		*t2, *t3, *f4, *f5, *f6, *f7, *scaling = true, true, true, true, true, true, true
+	}
+	if !(*t2 || *t3 || *f4 || *f5 || *f6 || *f7 || *scaling) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *t2 {
+		table2()
+	}
+	if *t3 {
+		table3(*seed)
+	}
+	if *f4 {
+		fig4(*seed)
+	}
+	if *f5 {
+		fig5(*seed)
+	}
+	if *f6 {
+		fig6(*seed)
+	}
+	if *f7 {
+		fig7(*seed)
+	}
+	if *scaling {
+		scalingSweep(*seed)
+	}
+}
+
+func writeCSV(name string, header []string, rows [][]string) {
+	if *csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if err := analysis.WriteCSV(f, header, rows); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+func table2() {
+	fmt.Println("== Table 2: normalized computational costs on Summit ==")
+	rows := [][]string{}
+	for _, r := range campaign.Table2() {
+		rows = append(rows, []string{
+			r.Method,
+			fmt.Sprintf("%.4g", r.NodesPerLig),
+			fmt.Sprintf("%.4g", r.HoursPerLig),
+			fmt.Sprintf("%.4g", r.NodeHrsPerLig),
+		})
+	}
+	hdr := []string{"method", "nodes/ligand", "hours/ligand", "node-hours/ligand"}
+	fmt.Println(analysis.Table(hdr, rows))
+	writeCSV("table2.csv", hdr, rows)
+}
+
+func table3(seed uint64) {
+	fmt.Println("== Table 3: per-component throughput (this substrate, 1 process) ==")
+	tg := receptor.PLPro()
+
+	// ML1 inference.
+	model := surrogate.NewModel(seed)
+	ids := make([]uint64, 8192)
+	r := xrand.New(seed)
+	for i := range ids {
+		ids[i] = r.Uint64()
+	}
+	mlT := timeIt(func() { model.PredictIDs(ids, 0) })
+	mlThrough := float64(len(ids)) / mlT
+
+	// S1 docking.
+	eng := dock.NewEngine(tg, seed)
+	eng.Params.Runs = 1
+	eng.Params.Generations = 10
+	mols := make([]*chem.Molecule, 48)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(i))
+	}
+	s1T := timeIt(func() { eng.DockBatch(mols) })
+	s1Through := float64(len(mols)) / s1T
+
+	// S3-CG and S3-FG.
+	runner := esmacs.NewRunner(tg, seed)
+	// Serial replica execution: per-ligand *cost* must not be masked by
+	// replica-level parallelism (FG's 24 replicas parallelize better
+	// than CG's 6 on a many-core host).
+	runner.Workers = 1
+	m := chem.FromID(7)
+	cg := esmacs.CG()
+	cg.EquilSteps, cg.ProdSteps, cg.MinimizeIters = 40, 160, 25
+	fg := esmacs.FG()
+	fg.EquilSteps, fg.ProdSteps, fg.MinimizeIters = 80, 400, 40
+	cgT := timeIt(func() { runner.Estimate(m, nil, cg) })
+	fgT := timeIt(func() { runner.Estimate(m, nil, fg) })
+
+	hdr := []string{"component", "throughput (ligands/s)", "paper (ligands/s)"}
+	rows := [][]string{
+		{"ML1", fmt.Sprintf("%.0f", mlThrough), "319674 (1536 GPUs)"},
+		{"S1", fmt.Sprintf("%.1f", s1Through), "14252 (6000 GPUs)"},
+		{"S3-CG", fmt.Sprintf("%.2f", 1/cgT), "2000 (6000 GPUs)"},
+		{"S3-FG", fmt.Sprintf("%.2f", 1/fgT), "200 (6000 GPUs)"},
+	}
+	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Printf("shape check: ML1 >> S1 >> CG ≈ 10×FG (paper ratios 22:71:10:1)\n\n")
+	writeCSV("table3.csv", hdr, rows)
+}
+
+func fig4(seed uint64) {
+	fmt.Println("== Fig. 4: RES profile for PLPro (real docking scores) ==")
+	tg := receptor.PLPro()
+	eng := dock.NewEngine(tg, seed)
+	eng.Params.Runs = 1
+	eng.Params.Generations = 10
+	r := xrand.New(seed)
+	const n = 8000
+	mols := make([]*chem.Molecule, n)
+	for i := range mols {
+		mols[i] = chem.FromID(r.Uint64())
+	}
+	docks := eng.DockBatch(mols)
+	scores := make([]float64, n)
+	for i, d := range docks {
+		scores[i] = d.Score
+	}
+	model := surrogate.NewModel(seed ^ 0x11)
+	cfg := surrogate.DefaultTrainConfig()
+	cfg.Epochs = 25
+	if _, err := model.Fit(mols[:3000], scores[:3000], cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pred := model.Predict(mols)
+	fr := []float64{1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1}
+	res := surrogate.ComputeRES(pred, scores, fr, fr)
+	hdr := []string{"alpha\\beta"}
+	for _, b := range fr {
+		hdr = append(hdr, fmt.Sprintf("%.0e", b))
+	}
+	rows := [][]string{}
+	for i, a := range fr {
+		row := []string{fmt.Sprintf("%.0e", a)}
+		for j := range fr {
+			row = append(row, fmt.Sprintf("%.2f", res.R[i][j]))
+		}
+		rows = append(rows, row)
+		_ = a
+	}
+	fmt.Println(analysis.Table(hdr, rows))
+	writeCSV("fig4_res.csv", hdr, rows)
+}
+
+func fig5(seed uint64) {
+	fmt.Println("== Fig. 5A/B/C: CG-ESMACS distributions and latent space ==")
+	tg := receptor.PLPro()
+	runner := esmacs.NewRunner(tg, seed)
+	runner.KeepTrajectories = true
+	proto := esmacs.CG()
+	proto.EquilSteps, proto.ProdSteps, proto.MinimizeIters = 40, 160, 25
+	r := xrand.New(seed)
+	var dgs, rmsds []float64
+	var ests []esmacs.Estimate
+	for i := 0; i < 24; i++ {
+		est := runner.Estimate(chem.FromID(r.Uint64()), nil, proto)
+		dgs = append(dgs, est.DeltaG)
+		rmsds = append(rmsds, est.MeanRMSD)
+		if i < 4 {
+			ests = append(ests, est)
+		}
+	}
+	fmt.Println("5A: ΔG histogram (kcal/mol):")
+	fmt.Println(analysis.NewHistogram(dgs, -60, 20, 16).Render(40))
+	s := analysis.Summarize(rmsds)
+	fmt.Printf("5B: RMSD median %.2f Å (IQR %.2f-%.2f, max %.2f)\n\n", s.Median, s.Q25, s.Q75, s.Max)
+
+	d := deepdrive.NewDriver(tg)
+	d.Cfg.Epochs = 6
+	d.Cfg.MaxFrames = 160
+	rep, err := d.Run(ests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("5C: 3D-AAE validation Chamfer %.4f over %d frames; %d outlier conformations selected\n",
+		rep.ValRecon, rep.Frames, len(rep.Selections))
+	// t-SNE projection of the latent manifold with LOF outliers marked
+	// (the paper paints validation grey and test by RMSD; here inliers
+	// are dots and density outliers 'O').
+	tcfg := latent.DefaultTSNEConfig()
+	tcfg.Iters = 150
+	emb := latent.TSNE(rep.Embeddings, tcfg)
+	mark := make([]bool, len(emb))
+	for _, i := range latent.TopOutliers(rep.LOF, len(rep.LOF)/10) {
+		mark[i] = true
+	}
+	fmt.Println(analysis.Scatter(emb, mark, 66, 18))
+	rows := [][]string{}
+	for i, dg := range dgs {
+		rows = append(rows, []string{fmt.Sprint(i), fmt.Sprintf("%.2f", dg), fmt.Sprintf("%.3f", rmsds[i])})
+	}
+	writeCSV("fig5_dg_rmsd.csv", []string{"compound", "dG", "rmsd"}, rows)
+}
+
+func fig6(seed uint64) {
+	fmt.Println("== Fig. 6: CG vs FG for the top compounds ==")
+	cfg := campaign.DefaultConfig(receptor.PLPro())
+	cfg.LibrarySize = 1500
+	cfg.TrainSize = 300
+	cfg.CGCount = 8
+	cfg.TopCompounds = 5
+	cfg.OutliersPer = 3
+	cfg.FastProtocols = true
+	cfg.Seed = seed
+	p := dock.DefaultParams()
+	p.Runs = 1
+	p.Generations = 10
+	cfg.DockParams = &p
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hdr := []string{"compound", "CG dG", "FG dG", "truth"}
+	rows := [][]string{}
+	lower := 0
+	for _, tc := range res.Top {
+		if tc.FG < tc.CG {
+			lower++
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%012x", tc.MolID),
+			fmt.Sprintf("%.1f±%.1f", tc.CG, tc.CGErr),
+			fmt.Sprintf("%.1f±%.1f", tc.FG, tc.FGErr),
+			fmt.Sprintf("%.1f", tc.Truth),
+		})
+	}
+	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Printf("FG below CG for %d/%d top compounds (paper: 5/5)\n\n", lower, len(res.Top))
+	writeCSV("fig6_cg_fg.csv", hdr, rows)
+}
+
+func fig7(seed uint64) {
+	fmt.Println("== Fig. 7: node utilization of integrated (S3-CG)-(S2)-(S3-FG) ==")
+	cfg := campaign.DefaultSimConfig()
+	cfg.Seed = seed
+	res := campaign.RunSim(cfg)
+	ts := make([]float64, len(res.Trace))
+	vs := make([]float64, len(res.Trace))
+	rows := [][]string{}
+	for i, s := range res.Trace {
+		ts[i] = s.Time / 3600
+		vs[i] = float64(s.BusyNodes)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", s.Time), fmt.Sprint(s.BusyNodes),
+			fmt.Sprint(s.Running), fmt.Sprint(s.Queued)})
+	}
+	fmt.Print(analysis.TimeSeries(ts, vs, 70, 10))
+	fmt.Printf("makespan %.1f h, utilization %.0f%%, mean scheduling delay %.1f s\n\n",
+		res.Makespan/3600, 100*res.Utilization, res.MeanSchedulingDelay)
+	writeCSV("fig7_utilization.csv", []string{"time_s", "busy_nodes", "running", "queued"}, rows)
+}
+
+func scalingSweep(seed uint64) {
+	fmt.Println("== §8 scaling: RAPTOR docking throughput vs nodes ==")
+	hdr := []string{"nodes", "docks/s", "Mdocks/hour", "utilization"}
+	rows := [][]string{}
+	for _, nodes := range []int{64, 128, 256, 512, 1024, 2048, 4000} {
+		res := campaign.SimDockingAtScale(nodes, nodes*500, seed)
+		rows = append(rows, []string{
+			fmt.Sprint(nodes),
+			fmt.Sprintf("%.0f", res.Throughput),
+			fmt.Sprintf("%.2f", res.DocksPerHour/1e6),
+			fmt.Sprintf("%.2f", res.Utilization),
+		})
+	}
+	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println("paper: sustained 40M docks/hour on ~4000 nodes; near-linear scaling")
+	writeCSV("scaling.csv", hdr, rows)
+}
+
+func timeIt(fn func()) float64 {
+	t0 := nowSeconds()
+	fn()
+	return nowSeconds() - t0
+}

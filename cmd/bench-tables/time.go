@@ -1,0 +1,8 @@
+package main
+
+import "time"
+
+var epoch = time.Now()
+
+// nowSeconds returns seconds since process start.
+func nowSeconds() float64 { return time.Since(epoch).Seconds() }

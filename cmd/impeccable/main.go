@@ -1,0 +1,120 @@
+// Command impeccable runs one campaign iteration of the IMPECCABLE
+// pipeline at a configurable scale and prints the funnel report: stage
+// counts, top-compound CG/FG comparison, surrogate quality and FLOP
+// accounting.
+//
+// Usage:
+//
+//	impeccable [-target PLPro] [-library 4000] [-train 600] [-cg 12]
+//	           [-top 5] [-outliers 5] [-seed 1] [-fast] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"impeccable/internal/analysis"
+	"impeccable/internal/campaign"
+	"impeccable/internal/receptor"
+)
+
+func main() {
+	var (
+		targetName = flag.String("target", "PLPro", "target protein: 3CLPro, PLPro, ADRP, NSP15")
+		library    = flag.Int("library", 4000, "compounds screened by ML1")
+		train      = flag.Int("train", 600, "compounds docked offline for ML1 training")
+		cg         = flag.Int("cg", 12, "compounds advanced to CG-ESMACS")
+		top        = flag.Int("top", 5, "top compounds advanced to S2/FG")
+		outliers   = flag.Int("outliers", 5, "outlier conformations per top compound")
+		seed       = flag.Uint64("seed", 1, "campaign seed")
+		fast       = flag.Bool("fast", false, "shrink MD protocols (quick demo)")
+		workers    = flag.Int("workers", 0, "worker pool width (0 = all cores)")
+		jsonOut    = flag.String("json", "", "write a JSON result export to this file")
+		viaEnTK    = flag.Bool("entk", false, "execute through the EnTK/pilot workflow stack")
+	)
+	flag.Parse()
+
+	var target *receptor.Target
+	for _, t := range receptor.StandardTargets() {
+		if strings.EqualFold(t.Name, *targetName) {
+			target = t
+		}
+	}
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *targetName)
+		os.Exit(2)
+	}
+
+	cfg := campaign.DefaultConfig(target)
+	cfg.LibrarySize = *library
+	cfg.TrainSize = *train
+	cfg.CGCount = *cg
+	cfg.TopCompounds = *top
+	cfg.OutliersPer = *outliers
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.FastProtocols = *fast
+
+	fmt.Printf("IMPECCABLE campaign: target %s (PDB %s), library %d compounds\n\n",
+		target.Name, target.PDBID, cfg.LibrarySize)
+	run := campaign.Run
+	if *viaEnTK {
+		run = campaign.RunViaEnTK
+	}
+	res, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign failed:", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		f.Close()
+		fmt.Printf("JSON export written to %s\n\n", *jsonOut)
+	}
+
+	f := res.Funnel
+	fmt.Println("Funnel:")
+	fmt.Println(analysis.Table(
+		[]string{"stage", "compounds/units"},
+		[][]string{
+			{"ML1 screened", fmt.Sprint(f.Screened)},
+			{"S1 docked", fmt.Sprint(f.Docked)},
+			{"S3-CG estimated", fmt.Sprint(f.CG)},
+			{"S2 frames analyzed", fmt.Sprint(f.S2Frames)},
+			{"S3-FG refined", fmt.Sprint(f.FG)},
+		}))
+
+	fmt.Println("Top compounds (CG vs FG, Fig. 6):")
+	rows := make([][]string, 0, len(res.Top))
+	for _, tc := range res.Top {
+		rows = append(rows, []string{
+			fmt.Sprintf("%012x", tc.MolID),
+			fmt.Sprintf("%.1f ± %.1f", tc.CG, tc.CGErr),
+			fmt.Sprintf("%.1f ± %.1f", tc.FG, tc.FGErr),
+			fmt.Sprintf("%.1f", tc.Truth),
+		})
+	}
+	fmt.Println(analysis.Table(
+		[]string{"compound", "ΔG CG (kcal/mol)", "ΔG FG (kcal/mol)", "truth"}, rows))
+
+	fmt.Printf("Surrogate RES(1e-2, 1e-2): %.0f%% of true top captured\n",
+		100*res.RES.At(1e-2, 1e-2))
+	fmt.Printf("Scientific yield: %.0f%% of CG compounds are true top-1%% binders\n\n",
+		100*res.ScientificYield)
+
+	fmt.Println("FLOP accounting:")
+	frow := [][]string{}
+	for _, s := range res.Counter.Stats() {
+		frow = append(frow, []string{s.Component, fmt.Sprint(s.Flops), fmt.Sprint(s.Units)})
+	}
+	fmt.Println(analysis.Table([]string{"component", "flops", "work units"}, frow))
+}

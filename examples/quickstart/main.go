@@ -1,0 +1,47 @@
+// Quickstart: run a small end-to-end IMPECCABLE campaign against PLPro
+// and print the funnel, the top compounds and the CG-vs-FG refinement.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impeccable"
+)
+
+func main() {
+	cfg := impeccable.DefaultConfig(impeccable.PLPro())
+	cfg.LibrarySize = 1500 // compounds screened by the ML surrogate
+	cfg.TrainSize = 300    // compounds docked to train the surrogate
+	cfg.CGCount = 6        // compounds through coarse-grained ESMACS
+	cfg.TopCompounds = 3   // best binders advanced to S2 + FG
+	cfg.OutliersPer = 3    // conformations per compound for FG
+	cfg.FastProtocols = true
+
+	fmt.Println("Running one IMPECCABLE iteration (ML1 → S1 → S3-CG → S2 → S3-FG)...")
+	res, err := impeccable.RunCampaign(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := res.Funnel
+	fmt.Printf("\nFunnel: %d screened → %d docked → %d CG → %d S2 frames → %d FG runs\n",
+		f.Screened, f.Docked, f.CG, f.S2Frames, f.FG)
+
+	fmt.Println("\nTop compounds (CG vs FG binding free energies, kcal/mol):")
+	for _, tc := range res.Top {
+		marker := ""
+		if tc.FG < tc.CG {
+			marker = "  ← FG refined"
+		}
+		fmt.Printf("  %012x  CG %6.1f ± %4.1f   FG %6.1f ± %4.1f   truth %5.1f%s\n",
+			tc.MolID, tc.CG, tc.CGErr, tc.FG, tc.FGErr, tc.Truth, marker)
+	}
+
+	fmt.Printf("\nSurrogate enrichment: RES(1%%, 1%%) = %.0f%% of true top captured\n",
+		100*res.RES.At(1e-2, 1e-2))
+	fmt.Printf("Scientific yield: %.0f%% of CG compounds are true top-1%% binders (random: 1%%)\n",
+		100*res.ScientificYield)
+}

@@ -1,0 +1,108 @@
+// Package impeccable is the public API of the IMPECCABLE reproduction: an
+// integrated modeling pipeline for computational drug discovery coupling
+// an ML docking surrogate (ML1), high-throughput docking (S1), ML-driven
+// adaptive molecular dynamics (S2/DeepDriveMD) and ensemble binding
+// free-energy estimation (S3/ESMACS) over a scalable workflow runtime
+// (EnTK + pilot + RAPTOR).
+//
+// Quick start:
+//
+//	cfg := impeccable.DefaultConfig(impeccable.PLPro())
+//	cfg.LibrarySize = 2000
+//	cfg.FastProtocols = true
+//	res, err := impeccable.RunCampaign(cfg)
+//
+// The package re-exports the stable subset of the internal packages; see
+// the examples/ directory for complete programs and DESIGN.md for the
+// system inventory.
+package impeccable
+
+import (
+	"impeccable/internal/campaign"
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+)
+
+// Re-exported core types. Aliases give external callers full access to
+// the underlying types (fields and methods) without importing internal
+// packages directly.
+type (
+	// Config sizes one campaign iteration (the IMPECCABLE funnel).
+	Config = campaign.Config
+	// Result is a completed campaign iteration's artifacts.
+	Result = campaign.Result
+	// TopComparison pairs CG and FG estimates for a top compound.
+	TopComparison = campaign.TopComparison
+	// SimConfig sizes a Summit-scale simulated run (Fig. 7).
+	SimConfig = campaign.SimConfig
+	// SimResult is a simulated run's utilization/overhead summary.
+	SimResult = campaign.SimResult
+	// Target is a receptor with pocket geometry and affinity oracle.
+	Target = receptor.Target
+	// Molecule is a synthetic compound.
+	Molecule = chem.Molecule
+	// Library is a lazily generated compound library.
+	Library = chem.Library
+	// MethodCost is one row of the Table 2 cost ladder.
+	MethodCost = campaign.MethodCost
+	// DockingScaleResult is one point of the docking scaling curve.
+	DockingScaleResult = campaign.DockingScaleResult
+)
+
+// DefaultConfig returns a laptop-scale campaign configuration against the
+// given target, preserving the paper's stage ratios.
+func DefaultConfig(t *Target) Config { return campaign.DefaultConfig(t) }
+
+// RunCampaign executes one IMPECCABLE iteration: ML1 → S1 → S3-CG → S2 →
+// S3-FG with surrogate training and outlier feedback.
+func RunCampaign(cfg Config) (*Result, error) { return campaign.Run(cfg) }
+
+// RunCampaignViaEnTK executes the same funnel codified as a five-stage
+// EnTK pipeline scheduled by a real pilot over the host's cores — the
+// paper's production programming model (§6.1), including the runtime
+// adaptivity that appends the FG stage from S2's selections.
+func RunCampaignViaEnTK(cfg Config) (*Result, error) { return campaign.RunViaEnTK(cfg) }
+
+// RunIterations executes n successive campaign iterations with the
+// surrogate retrained each round on all accumulated docking labels (the
+// active-learning loop of §8).
+func RunIterations(cfg Config, n int) ([]*Result, []IterationSummary, error) {
+	return campaign.RunIterations(cfg, n)
+}
+
+// IterationSummary captures the per-iteration trajectory of the
+// active-learning campaign.
+type IterationSummary = campaign.IterationSummary
+
+// RunSim executes the integrated (S3-CG)-(S2)-(S3-FG) workload in
+// simulated Summit time, producing the Fig. 7 utilization trace.
+func RunSim(cfg SimConfig) SimResult { return campaign.RunSim(cfg) }
+
+// DefaultSimConfig returns a medium Summit slice for RunSim.
+func DefaultSimConfig() SimConfig { return campaign.DefaultSimConfig() }
+
+// SimDockingAtScale reproduces the §8 docking-throughput claims on the
+// RAPTOR overlay in simulated time.
+func SimDockingAtScale(nodes, docks int, seed uint64) DockingScaleResult {
+	return campaign.SimDockingAtScale(nodes, docks, seed)
+}
+
+// Table2 returns the paper's published method-cost ladder.
+func Table2() []MethodCost { return campaign.Table2() }
+
+// StandardTargets returns the four SARS-CoV-2 targets of the paper
+// (3CLPro, PLPro, ADRP, NSP15).
+func StandardTargets() []*Target { return receptor.StandardTargets() }
+
+// PLPro returns the papain-like protease target (PDB 6W9C) used for the
+// paper's headline results (Figs. 4-6).
+func PLPro() *Target { return receptor.PLPro() }
+
+// StandardLibraries builds the OZD and ORD screening libraries at the
+// given scale (1.0 = the paper's 6.5 M compounds with 1.5 M overlap).
+func StandardLibraries(seed uint64, scale float64) (ozd, ord *Library) {
+	return chem.StandardLibraries(seed, scale)
+}
+
+// MoleculeFromID deterministically materializes a molecule.
+func MoleculeFromID(id uint64) *Molecule { return chem.FromID(id) }

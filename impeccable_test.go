@@ -1,0 +1,107 @@
+package impeccable_test
+
+import (
+	"testing"
+
+	"impeccable"
+	"impeccable/internal/dock"
+)
+
+// fastPublicConfig shrinks everything for the public-API integration
+// tests.
+func fastPublicConfig() impeccable.Config {
+	cfg := impeccable.DefaultConfig(impeccable.PLPro())
+	cfg.LibrarySize = 1000
+	cfg.TrainSize = 200
+	cfg.CGCount = 4
+	cfg.TopCompounds = 2
+	cfg.OutliersPer = 2
+	cfg.FastProtocols = true
+	p := dock.DefaultParams()
+	p.Runs = 1
+	p.Generations = 8
+	p.Population = 20
+	cfg.DockParams = &p
+	return cfg
+}
+
+func TestPublicAPICampaign(t *testing.T) {
+	res, err := impeccable.RunCampaign(fastPublicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Screened != 1000 || res.Funnel.CG != 4 {
+		t.Fatalf("funnel = %+v", res.Funnel)
+	}
+	if res.RES == nil || len(res.Top) == 0 {
+		t.Fatal("missing artifacts")
+	}
+}
+
+func TestPublicAPITargetsAndLibraries(t *testing.T) {
+	targets := impeccable.StandardTargets()
+	if len(targets) != 4 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	ozd, ord := impeccable.StandardLibraries(1, 0.0001)
+	if ozd.Size() == 0 || ord.Size() == 0 {
+		t.Fatal("empty libraries")
+	}
+	m := impeccable.MoleculeFromID(42)
+	if m.SMILES == "" {
+		t.Fatal("molecule missing SMILES")
+	}
+	for _, tg := range targets {
+		dg := tg.TrueAffinity(m)
+		if dg < -18 || dg > 2 {
+			t.Fatalf("affinity out of range: %v", dg)
+		}
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	cfg := impeccable.DefaultSimConfig()
+	cfg.Pipelines = 2
+	cfg.Nodes = 16
+	res := impeccable.RunSim(cfg)
+	if res.Makespan <= 0 || len(res.Trace) == 0 {
+		t.Fatalf("sim result malformed: %+v", res)
+	}
+	scale := impeccable.SimDockingAtScale(64, 20000, 1)
+	if scale.Throughput <= 0 || scale.Utilization <= 0 {
+		t.Fatalf("scaling result malformed: %+v", scale)
+	}
+}
+
+func TestPublicAPITable2(t *testing.T) {
+	rows := impeccable.Table2()
+	if len(rows) != 5 || rows[0].Method == "" {
+		t.Fatalf("Table2 = %+v", rows)
+	}
+}
+
+func TestPublicAPIEnTKPath(t *testing.T) {
+	res, err := impeccable.RunCampaignViaEnTK(fastPublicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PilotTrace) == 0 {
+		t.Fatal("EnTK path produced no pilot trace")
+	}
+}
+
+func TestPublicAPIIterations(t *testing.T) {
+	cfg := fastPublicConfig()
+	cfg.LibrarySize = 600
+	cfg.TrainSize = 120
+	results, sums, err := impeccable.RunIterations(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(sums) != 2 {
+		t.Fatalf("iterations = %d", len(results))
+	}
+	if sums[1].PoolSize <= sums[0].PoolSize {
+		t.Fatal("pool did not accumulate")
+	}
+}

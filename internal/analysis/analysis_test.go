@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"impeccable/internal/xrand"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Q25 != 2 || s.Q75 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.Q25, s.Q75)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v", got)
+	}
+	if got := Quantile(sorted, 0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(sorted, 1); got != 10 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect corr = %v", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti corr = %v", got)
+	}
+	if got := Pearson(a, []float64{1}); got != 0 {
+		t.Fatalf("mismatched corr = %v", got)
+	}
+	if got := Pearson([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Fatalf("degenerate corr = %v", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 9.9, -5, 100}, 0, 10, 10)
+	if h.Total != 6 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 0.5 and clamped -5
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 1.5, 1.6
+		t.Fatalf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 9.9 and clamped 100
+		t.Fatalf("bin9 = %d", h.Counts[9])
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Fatalf("bin center = %v", got)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	r := xrand.New(1)
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = r.Norm(5, 1)
+	}
+	h := NewHistogram(x, 0, 10, 20)
+	center := h.BinCenter(h.Mode())
+	if math.Abs(center-5) > 1 {
+		t.Fatalf("mode at %v, want ≈5", center)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2}, 0, 3, 3)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Fatal("render missing bars")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("render rows wrong:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "bbbb"}, [][]string{{"xxxxx", "y"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, [][]string{{"1", "a,b"}, {"2", "q\"q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"a,b\"\n2,\"q\"\"q\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTimeSeriesRender(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	vs := []float64{0, 10, 10, 5, 0}
+	out := TimeSeries(ts, vs, 40, 5)
+	if !strings.Contains(out, "#") {
+		t.Fatal("time series missing marks")
+	}
+	if got := TimeSeries(nil, nil, 40, 5); got != "(no data)\n" {
+		t.Fatalf("empty series = %q", got)
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	mark := []bool{false, true, false}
+	out := Scatter(pts, mark, 20, 10)
+	if !strings.Contains(out, "O") || !strings.Contains(out, ".") {
+		t.Fatalf("scatter missing markers:\n%s", out)
+	}
+	if got := Scatter(nil, nil, 20, 10); got != "(no data)\n" {
+		t.Fatalf("empty scatter = %q", got)
+	}
+	// Degenerate (all-identical) points must not divide by zero.
+	same := [][]float64{{2, 3}, {2, 3}}
+	if out := Scatter(same, nil, 20, 10); !strings.Contains(out, ".") {
+		t.Fatalf("degenerate scatter:\n%s", out)
+	}
+}

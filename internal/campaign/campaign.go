@@ -1,0 +1,399 @@
+// Package campaign integrates the stages into the IMPECCABLE funnel of
+// Fig. 1: ML1 surrogate filtering → S1 docking → S3-CG ensemble free
+// energies → S2 latent-space outlier selection → S3-FG refined free
+// energies, with feedback (docking results retrain the surrogate, S2
+// outliers seed FG). At each stage only the most promising candidates
+// advance, yielding the N-deep pipeline whose methods span six orders of
+// magnitude in per-ligand cost (Table 2).
+//
+// Because the substrate has a ground-truth oracle, the campaign can also
+// report *scientific performance* — the paper's second metric, effective
+// ligands sampled per unit time — exactly, as the recovery of true
+// top-binders by each stage.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/deepdrive"
+	"impeccable/internal/dock"
+	"impeccable/internal/esmacs"
+	"impeccable/internal/geom"
+	"impeccable/internal/hpc"
+	"impeccable/internal/pilot"
+	"impeccable/internal/receptor"
+	"impeccable/internal/surrogate"
+	"impeccable/internal/xrand"
+)
+
+// Config sizes one campaign iteration. The ratios mirror §7.1: surrogate
+// screens the library and passes ~1 % to docking (plus a 15-20 % random
+// resample of lower ranks to avoid blind spots), docking winners are
+// diversity-reduced for CG-ESMACS, S2 selects outlier conformations of
+// the top compounds, FG-ESMACS refines those.
+type Config struct {
+	Target *receptor.Target
+
+	LibrarySize   int     // compounds screened by ML1
+	TrainSize     int     // compounds docked offline to train ML1
+	TopFrac       float64 // fraction of library passed to S1 (0.01)
+	ResampleFrac  float64 // extra lower-ranked fraction resampled (0.15)
+	CGCount       int     // compounds advanced to S3-CG
+	TopCompounds  int     // compounds advanced from CG to S2/FG (5)
+	OutliersPer   int     // conformations per compound for FG (5)
+	Seed          uint64
+	Workers       int
+	FastProtocols bool // shrink MD durations (tests / laptop examples)
+
+	// DockParams defaults to dock.DefaultParams with Runs reduced to 2
+	// for throughput.
+	DockParams *dock.Params
+}
+
+// DefaultConfig returns a laptop-scale configuration preserving the
+// paper's stage ratios.
+func DefaultConfig(t *receptor.Target) Config {
+	return Config{
+		Target:       t,
+		LibrarySize:  4000,
+		TrainSize:    600,
+		TopFrac:      0.01,
+		ResampleFrac: 0.15,
+		CGCount:      12,
+		TopCompounds: 5,
+		OutliersPer:  5,
+		Seed:         1,
+	}
+}
+
+// FunnelStats counts compounds at each stage.
+type FunnelStats struct {
+	Screened int // ML1 inference count
+	Docked   int // S1 count (training + selected)
+	CG       int // S3-CG count
+	S2Frames int // frames aggregated by S2
+	FG       int // S3-FG conformations
+}
+
+// TopComparison pairs the CG and FG estimates of one top compound
+// (the Fig. 6 data).
+type TopComparison struct {
+	MolID  uint64
+	CG, FG float64 // ΔG estimates (kcal/mol)
+	CGErr  float64
+	FGErr  float64
+	Truth  float64 // ground-truth affinity (oracle; reproduction-only)
+}
+
+// Result is everything one campaign iteration produced.
+type Result struct {
+	TrainReport surrogate.Report
+	Model       *surrogate.Model
+	RES         *surrogate.RES
+
+	DockResults []dock.Result
+	CGEstimates []esmacs.Estimate
+	S2Report    *deepdrive.Report
+	FGEstimates []esmacs.Estimate
+	Top         []TopComparison
+
+	Funnel  FunnelStats
+	Counter *hpc.FlopCounter
+	// PilotTrace is the pilot utilization trace when the campaign ran
+	// through the EnTK/pilot path (RunViaEnTK); nil otherwise.
+	PilotTrace []pilot.UtilSample
+
+	// ScientificYield is the fraction of the library's true top-1 %
+	// binders present among the compounds that reached S3-CG — the
+	// oracle-measured enrichment of the funnel.
+	ScientificYield float64
+}
+
+// Pool accumulates docking-labelled molecules across campaign iterations
+// — the training memory of the active-learning loop (§5.1: "Each
+// successive iteration of IMPECCABLE thus provides successive yields of
+// LPCs that could be modeled as an active learning pipeline").
+type Pool struct {
+	Mols   []*chem.Molecule
+	Scores []float64
+}
+
+// Add appends labelled compounds to the pool.
+func (p *Pool) Add(mols []*chem.Molecule, scores []float64) {
+	p.Mols = append(p.Mols, mols...)
+	p.Scores = append(p.Scores, scores...)
+}
+
+// Size returns the number of labelled compounds.
+func (p *Pool) Size() int { return len(p.Mols) }
+
+// Run executes one campaign iteration.
+func Run(cfg Config) (*Result, error) { return RunWithPool(cfg, nil, 0) }
+
+// RunWithPool executes one campaign iteration whose surrogate trains on
+// the accumulated pool in addition to this iteration's offline docking
+// sample, screening the library window starting at libOffset. Docked
+// compounds and their scores are appended to the pool (when non-nil) for
+// the next iteration.
+func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("campaign: nil target")
+	}
+	if cfg.LibrarySize < 10 || cfg.TrainSize < 10 {
+		return nil, fmt.Errorf("campaign: library/train sizes too small (%d/%d)",
+			cfg.LibrarySize, cfg.TrainSize)
+	}
+	res := &Result{Counter: hpc.NewFlopCounter()}
+	r := xrand.New(cfg.Seed + libOffset)
+	lib := chem.NewLibrary("OZD", cfg.Seed^0x11B, libOffset, cfg.LibrarySize)
+
+	// --- Offline docking of a training sample (pre-training data for
+	// ML1, §6.1.1: "pre-trained on 500,000 randomly selected samples
+	// from the OZD ligand dataset"). ---
+	eng := dock.NewEngine(cfg.Target, cfg.Seed^0xD0C)
+	if cfg.DockParams != nil {
+		eng.Params = *cfg.DockParams
+	} else {
+		eng.Params.Runs = 2
+	}
+	eng.Workers = cfg.Workers
+	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
+	trainMols := materialize(trainIDs)
+	trainDocks := eng.DockBatch(trainMols)
+	trainScores := make([]float64, len(trainDocks))
+	var dockFlops int64
+	for i, d := range trainDocks {
+		trainScores[i] = d.Score
+		dockFlops += d.Flops
+	}
+	res.Counter.Add("S1", dockFlops, 0, int64(len(trainDocks)))
+
+	// --- ML1 training: this iteration's sample plus the accumulated
+	// active-learning pool. ---
+	fitMols, fitScores := trainMols, trainScores
+	if pool != nil && pool.Size() > 0 {
+		fitMols = append(append([]*chem.Molecule{}, pool.Mols...), trainMols...)
+		fitScores = append(append([]float64{}, pool.Scores...), trainScores...)
+	}
+	model := surrogate.NewModel(cfg.Seed ^ 0x111)
+	tcfg := surrogate.DefaultTrainConfig()
+	rep, err := model.Fit(fitMols, fitScores, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: surrogate training: %w", err)
+	}
+	res.TrainReport = rep
+	res.Model = model
+	res.Counter.Add("ML1-train", rep.Flops, 0, int64(rep.Samples))
+
+	// --- ML1 inference over the library. ---
+	ids := make([]uint64, lib.Size())
+	for i := range ids {
+		ids[i] = lib.IDAt(i)
+	}
+	preds := model.PredictIDs(ids, cfg.Workers)
+	res.Funnel.Screened = len(ids)
+	res.Counter.Add("ML1", model.InferenceFlops(len(ids)), 0, int64(len(ids)))
+
+	// --- Selection for S1: predicted top fraction + random resample of
+	// the remainder (§7.1.1: "we also select about 15–20 % of compounds
+	// from the RES to the subsequent stages"). ---
+	nTop := max(1, int(cfg.TopFrac*float64(len(ids))))
+	topIdx := surrogate.TopK(preds, nTop)
+	selected := map[int]bool{}
+	for _, i := range topIdx {
+		selected[i] = true
+	}
+	nExtra := int(cfg.ResampleFrac * float64(nTop))
+	for len(selected) < nTop+nExtra && len(selected) < len(ids) {
+		selected[r.Intn(len(ids))] = true
+	}
+	dockIdx := make([]int, 0, len(selected))
+	for i := range selected {
+		dockIdx = append(dockIdx, i)
+	}
+	sort.Ints(dockIdx)
+	dockMols := make([]*chem.Molecule, len(dockIdx))
+	for i, j := range dockIdx {
+		dockMols[i] = chem.FromID(ids[j])
+	}
+	res.DockResults = eng.DockBatch(dockMols)
+	res.Funnel.Docked = len(res.DockResults) + len(trainDocks)
+	dockFlops = 0
+	for _, d := range res.DockResults {
+		dockFlops += d.Flops
+	}
+	res.Counter.Add("S1", dockFlops, 0, int64(len(res.DockResults)))
+
+	// Feed every docking label of this iteration back into the pool.
+	if pool != nil {
+		pool.Add(trainMols, trainScores)
+		pool.Add(dockMols, scoresOf(res.DockResults))
+	}
+
+	// --- RES analysis (Fig. 4): surrogate vs docking truth on the
+	// docked selection plus the training set. ---
+	resMols := append(append([]*chem.Molecule{}, trainMols...), dockMols...)
+	resTruth := append(append([]float64{}, trainScores...), scoresOf(res.DockResults)...)
+	resPred := model.Predict(resMols)
+	res.RES = surrogate.ComputeRES(resPred, resTruth,
+		surrogate.DefaultFractions(), surrogate.DefaultFractions())
+
+	// --- Diversity reduction and S3-CG (§7.1.2: structurally most
+	// diverse compounds among the docking winners). ---
+	bestDocked := surrogate.BottomK(scoresOf(res.DockResults), min(cfg.CGCount*3, len(res.DockResults)))
+	candidates := make([]*chem.Molecule, len(bestDocked))
+	for i, j := range bestDocked {
+		candidates[i] = dockMols[j]
+	}
+	diverse := chem.MaxMinDiverse(candidates, min(cfg.CGCount, len(candidates)), 0)
+	cgMols := make([]*chem.Molecule, len(diverse))
+	cgPoses := make([][]geom.Vec3, len(diverse))
+	for i, j := range diverse {
+		cgMols[i] = candidates[j]
+		cgPoses[i] = dockedPose(cfg.Target, cgMols[i], res.DockResults[bestDocked[j]])
+	}
+	runner := esmacs.NewRunner(cfg.Target, cfg.Seed^0xE5)
+	runner.Workers = cfg.Workers
+	runner.KeepTrajectories = true
+	cgProto := esmacs.CG()
+	if cfg.FastProtocols {
+		cgProto = fastProto(cgProto, 40, 200)
+	}
+	for i, m := range cgMols {
+		est := runner.Estimate(m, cgPoses[i], cgProto)
+		res.CGEstimates = append(res.CGEstimates, est)
+		res.Counter.Add("S3-CG", est.Flops, 0, 1)
+	}
+	res.Funnel.CG = len(res.CGEstimates)
+
+	// --- S2: 3D-AAE + LOF over the CG ensembles of the top compounds. ---
+	sort.Slice(res.CGEstimates, func(a, b int) bool {
+		return res.CGEstimates[a].DeltaG < res.CGEstimates[b].DeltaG
+	})
+	nTopC := min(cfg.TopCompounds, len(res.CGEstimates))
+	topEsts := res.CGEstimates[:nTopC]
+	driver := deepdrive.NewDriver(cfg.Target)
+	driver.Cfg.Seed = cfg.Seed ^ 0x52
+	driver.Cfg.OutliersPerLigand = cfg.OutliersPer
+	if cfg.FastProtocols {
+		driver.Cfg.Epochs = 4
+		driver.Cfg.MaxFrames = 240
+	}
+	s2rep, err := driver.Run(topEsts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: S2: %w", err)
+	}
+	res.S2Report = s2rep
+	res.Funnel.S2Frames = s2rep.Frames
+	res.Counter.Add("S2", s2rep.Flops, 0, int64(nTopC))
+
+	// --- S3-FG from the S2-selected outlier conformations. ---
+	fgProto := esmacs.FG()
+	if cfg.FastProtocols {
+		fgProto = fastProto(fgProto, 80, 500)
+	}
+	cgByMol := map[uint64]esmacs.Estimate{}
+	for _, est := range topEsts {
+		cgByMol[est.MolID] = est
+	}
+	bestFG := map[uint64]esmacs.Estimate{}
+	for _, sel := range s2rep.Selections {
+		est := runner.Estimate(chem.FromID(sel.Ref.MolID), sel.Ligand, fgProto)
+		res.FGEstimates = append(res.FGEstimates, est)
+		res.Counter.Add("S3-FG", est.Flops, 0, 1)
+		if prev, ok := bestFG[est.MolID]; !ok || est.DeltaG < prev.DeltaG {
+			bestFG[est.MolID] = est
+		}
+	}
+	res.Funnel.FG = len(res.FGEstimates)
+
+	// --- Fig. 6 comparison + oracle metrics. ---
+	for _, est := range topEsts {
+		fg, ok := bestFG[est.MolID]
+		if !ok {
+			continue
+		}
+		res.Top = append(res.Top, TopComparison{
+			MolID: est.MolID,
+			CG:    est.DeltaG, CGErr: est.StdErr,
+			FG: fg.DeltaG, FGErr: fg.StdErr,
+			Truth: cfg.Target.TrueAffinity(chem.FromID(est.MolID)),
+		})
+	}
+	res.ScientificYield = yield(cfg.Target, ids, cgMols)
+	return res, nil
+}
+
+// dockedPose reconstructs the bead positions of a docking result.
+func dockedPose(t *receptor.Target, m *chem.Molecule, d dock.Result) []geom.Vec3 {
+	if d.Genome == nil {
+		return nil
+	}
+	s := dock.NewScoreFunc(t, m)
+	return s.PoseBeads(d.Genome)
+}
+
+// yield computes the fraction of the library's true top-1 % binders that
+// made it into the CG set — oracle-only scientific performance.
+func yield(t *receptor.Target, ids []uint64, cgMols []*chem.Molecule) float64 {
+	if len(cgMols) == 0 {
+		return 0
+	}
+	truths := make([]float64, len(ids))
+	for i, id := range ids {
+		truths[i] = t.TrueAffinity(chem.FromID(id))
+	}
+	nTop := max(1, len(ids)/100)
+	topSet := map[uint64]bool{}
+	for _, i := range surrogate.BottomK(truths, nTop) {
+		topSet[ids[i]] = true
+	}
+	hits := 0
+	for _, m := range cgMols {
+		if topSet[m.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(cgMols))
+}
+
+func fastProto(p esmacs.Protocol, equil, prod int) esmacs.Protocol {
+	scale := float64(p.Replicas) // keep replica structure, shrink time
+	_ = scale
+	p.EquilSteps = equil
+	p.ProdSteps = prod
+	p.MinimizeIters = 30
+	return p
+}
+
+func scoresOf(rs []dock.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Score
+	}
+	return out
+}
+
+func materialize(ids []uint64) []*chem.Molecule {
+	out := make([]*chem.Molecule, len(ids))
+	for i, id := range ids {
+		out[i] = chem.FromID(id)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"testing"
+
+	"impeccable/internal/dock"
+	"impeccable/internal/receptor"
+)
+
+// fastConfig returns a small-but-complete campaign for integration tests.
+func fastConfig() Config {
+	cfg := DefaultConfig(receptor.PLPro())
+	cfg.LibrarySize = 1200
+	cfg.TrainSize = 250
+	cfg.CGCount = 6
+	cfg.TopCompounds = 3
+	cfg.OutliersPer = 2
+	cfg.FastProtocols = true
+	p := dock.DefaultParams()
+	p.Runs = 1
+	p.Generations = 10
+	p.Population = 24
+	cfg.DockParams = &p
+	return cfg
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Funnel shape: screened >> docked >> CG >= top >= FG groups.
+	f := res.Funnel
+	if f.Screened != 1200 {
+		t.Fatalf("screened = %d", f.Screened)
+	}
+	if f.Docked <= 0 || f.Docked >= f.Screened {
+		t.Fatalf("docked = %d", f.Docked)
+	}
+	if f.CG != 6 {
+		t.Fatalf("CG = %d", f.CG)
+	}
+	if f.FG != 3*2 {
+		t.Fatalf("FG = %d, want top×outliers = 6", f.FG)
+	}
+	if f.S2Frames <= 0 {
+		t.Fatal("no S2 frames")
+	}
+	// Every deliverable present.
+	if res.RES == nil || res.S2Report == nil || res.Model == nil {
+		t.Fatal("missing analysis artifacts")
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("no Fig. 6 comparisons")
+	}
+	// FLOP accounting covers all five components.
+	for _, comp := range []string{"ML1", "ML1-train", "S1", "S3-CG", "S2", "S3-FG"} {
+		if res.Counter.Get(comp).Flops <= 0 {
+			t.Fatalf("no flops recorded for %s", comp)
+		}
+	}
+}
+
+func TestCampaignFGRefinesCG(t *testing.T) {
+	// Fig. 6: FG estimates from S2-selected outlier conformations should
+	// be lower (better) than CG for most of the top compounds.
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 0
+	for _, tc := range res.Top {
+		if tc.FG < tc.CG {
+			lower++
+		}
+	}
+	if lower*2 < len(res.Top) {
+		t.Fatalf("FG better in only %d/%d top compounds", lower, len(res.Top))
+	}
+	t.Logf("FG < CG in %d/%d top compounds", lower, len(res.Top))
+}
+
+func TestCampaignEnrichesOverRandom(t *testing.T) {
+	// Scientific performance: the CG set must be enriched in true
+	// top-1 % binders far beyond random expectation (0.01).
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScientificYield <= 0.01 {
+		t.Fatalf("scientific yield %v no better than random", res.ScientificYield)
+	}
+	t.Logf("scientific yield: %.0f%% of CG compounds are true top-1%% binders",
+		100*res.ScientificYield)
+}
+
+func TestCampaignErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	cfg := fastConfig()
+	cfg.LibrarySize = 5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("tiny library accepted")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Workers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Top) != len(b.Top) {
+		t.Fatal("top sets differ")
+	}
+	for i := range a.Top {
+		if a.Top[i].MolID != b.Top[i].MolID || a.Top[i].FG != b.Top[i].FG {
+			t.Fatalf("campaign not deterministic at top %d", i)
+		}
+	}
+}

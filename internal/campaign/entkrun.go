@@ -1,0 +1,309 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/deepdrive"
+	"impeccable/internal/dock"
+	"impeccable/internal/entk"
+	"impeccable/internal/esmacs"
+	"impeccable/internal/geom"
+	"impeccable/internal/hpc"
+	"impeccable/internal/pilot"
+	"impeccable/internal/surrogate"
+	"impeccable/internal/xrand"
+)
+
+// RunViaEnTK executes the same funnel as Run, but codified exactly as the
+// paper deploys it (§6.1): an EnTK pipeline whose stages hold the
+// concurrent tasks of each phase — docking chunks, one ESMACS ensemble
+// per compound, the S2 learner, the FG refinements — scheduled by a real
+// pilot over the local host's cores, with the adaptive S2→FG hand-off
+// expressed as a PostExec hook that appends the FG stage from S2's
+// selections at runtime.
+//
+// The scientific results are produced by the same engines as Run; what
+// this path exercises is the production programming model: PST
+// composition, pilot bin-packing, task concurrency limits and the
+// runtime adaptivity the paper's §5.2.1 lists as an EnTK requirement.
+func RunViaEnTK(cfg Config) (*Result, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("campaign: nil target")
+	}
+	if cfg.LibrarySize < 10 || cfg.TrainSize < 10 {
+		return nil, fmt.Errorf("campaign: library/train sizes too small (%d/%d)",
+			cfg.LibrarySize, cfg.TrainSize)
+	}
+	cores := cfg.Workers
+	if cores <= 0 {
+		cores = runtime.GOMAXPROCS(0)
+	}
+	// One "node" with the host's cores; every task declares cores so the
+	// pilot bounds real concurrency.
+	platform := hpc.Platform{Name: "localhost", Nodes: 1,
+		Spec: hpc.NodeSpec{Cores: cores}}
+	clock := hpc.NewRealClock()
+	pl := pilot.NewPilot(platform, clock, &pilot.RealExecutor{})
+	am := entk.NewAppManager(pl)
+
+	res := &Result{Counter: hpc.NewFlopCounter()}
+	pl.Counter = res.Counter
+	r := xrand.New(cfg.Seed)
+	lib := chem.NewLibrary("OZD", cfg.Seed^0x11B, 0, cfg.LibrarySize)
+
+	eng := dock.NewEngine(cfg.Target, cfg.Seed^0xD0C)
+	if cfg.DockParams != nil {
+		eng.Params = *cfg.DockParams
+	} else {
+		eng.Params.Runs = 2
+	}
+	eng.Workers = 1 // the pilot provides the parallelism
+
+	var mu sync.Mutex // guards the shared state below across task Fns
+	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
+	trainMols := materialize(trainIDs)
+	trainScores := make([]float64, len(trainMols))
+
+	model := surrogate.NewModel(cfg.Seed ^ 0x111)
+	var dockMols []*chem.Molecule
+	var cgMols []*chem.Molecule
+	var cgPoses [][]geom.Vec3
+
+	runner := esmacs.NewRunner(cfg.Target, cfg.Seed^0xE5)
+	runner.Workers = 1
+	runner.KeepTrajectories = true
+	cgProto := esmacs.CG()
+	fgProto := esmacs.FG()
+	if cfg.FastProtocols {
+		cgProto = fastProto(cgProto, 40, 200)
+		fgProto = fastProto(fgProto, 80, 500)
+	}
+
+	pipe := entk.NewPipeline("impeccable")
+
+	// --- Stage 1: offline docking of the training sample, chunked. ---
+	s1train := entk.NewStage("S1-train")
+	const chunk = 32
+	for at := 0; at < len(trainMols); at += chunk {
+		end := at + chunk
+		if end > len(trainMols) {
+			end = len(trainMols)
+		}
+		at, end := at, end
+		s1train.AddTask(&entk.Task{
+			Name: fmt.Sprintf("dock-train-%d", at), Cores: 1, Component: "S1",
+			Fn: func() {
+				for i := at; i < end; i++ {
+					d := eng.DockOne(trainMols[i])
+					mu.Lock()
+					trainScores[i] = d.Score
+					mu.Unlock()
+				}
+			},
+		})
+	}
+
+	// --- Stage 2: ML1 training + library screening + selection. ---
+	var fitErr error
+	ml1 := entk.NewStage("ML1")
+	ml1.AddTask(&entk.Task{
+		Name: "train+screen", Cores: cores, Component: "ML1",
+		Fn: func() {
+			rep, err := model.Fit(trainMols, trainScores, surrogate.DefaultTrainConfig())
+			if err != nil {
+				mu.Lock()
+				fitErr = err
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			res.TrainReport = rep
+			res.Model = model
+			mu.Unlock()
+			ids := make([]uint64, lib.Size())
+			for i := range ids {
+				ids[i] = lib.IDAt(i)
+			}
+			preds := model.PredictIDs(ids, cores)
+			nTop := max(1, int(cfg.TopFrac*float64(len(ids))))
+			sel := map[int]bool{}
+			for _, i := range surrogate.TopK(preds, nTop) {
+				sel[i] = true
+			}
+			nExtra := int(cfg.ResampleFrac * float64(nTop))
+			rr := xrand.NewFrom(cfg.Seed, 0x5E1)
+			for len(sel) < nTop+nExtra && len(sel) < len(ids) {
+				sel[rr.Intn(len(ids))] = true
+			}
+			idx := make([]int, 0, len(sel))
+			for i := range sel {
+				idx = append(idx, i)
+			}
+			sort.Ints(idx)
+			mu.Lock()
+			res.Funnel.Screened = len(ids)
+			for _, i := range idx {
+				dockMols = append(dockMols, chem.FromID(ids[i]))
+			}
+			mu.Unlock()
+		},
+	})
+
+	// --- Stage 3: production docking. Tasks are added by the ML1
+	// stage's PostExec (the selection is only known at runtime). ---
+	ml1.PostExec = func(p *entk.Pipeline) {
+		s1 := entk.NewStage("S1")
+		mu.Lock()
+		mols := dockMols
+		mu.Unlock()
+		results := make([]dock.Result, len(mols))
+		for at := 0; at < len(mols); at += chunk {
+			end := at + chunk
+			if end > len(mols) {
+				end = len(mols)
+			}
+			at, end := at, end
+			s1.AddTask(&entk.Task{
+				Name: fmt.Sprintf("dock-%d", at), Cores: 1, Component: "S1",
+				Fn: func() {
+					for i := at; i < end; i++ {
+						results[i] = eng.DockOne(mols[i])
+					}
+				},
+			})
+		}
+		// After docking: diversity selection feeds the CG stage.
+		s1.PostExec = func(p *entk.Pipeline) {
+			mu.Lock()
+			res.DockResults = results
+			res.Funnel.Docked = len(results) + len(trainMols)
+			best := surrogate.BottomK(scoresOf(results), min(cfg.CGCount*3, len(results)))
+			cands := make([]*chem.Molecule, len(best))
+			for i, j := range best {
+				cands[i] = mols[best[i]]
+				_ = j
+			}
+			for _, j := range chem.MaxMinDiverse(cands, min(cfg.CGCount, len(cands)), 0) {
+				cgMols = append(cgMols, cands[j])
+				cgPoses = append(cgPoses, dockedPose(cfg.Target, cands[j], results[best[j]]))
+			}
+			localCG := cgMols
+			localPoses := cgPoses
+			mu.Unlock()
+
+			cg := entk.NewStage("S3-CG")
+			ests := make([]esmacs.Estimate, len(localCG))
+			for i := range localCG {
+				i := i
+				cg.AddTask(&entk.Task{
+					Name: fmt.Sprintf("esmacs-cg-%d", i), Cores: 2, Component: "S3-CG",
+					Fn: func() {
+						ests[i] = runner.Estimate(localCG[i], localPoses[i], cgProto)
+					},
+				})
+			}
+			cg.PostExec = func(p *entk.Pipeline) {
+				mu.Lock()
+				res.CGEstimates = ests
+				sort.Slice(res.CGEstimates, func(a, b int) bool {
+					return res.CGEstimates[a].DeltaG < res.CGEstimates[b].DeltaG
+				})
+				res.Funnel.CG = len(res.CGEstimates)
+				topEsts := res.CGEstimates[:min(cfg.TopCompounds, len(res.CGEstimates))]
+				mu.Unlock()
+
+				s2 := entk.NewStage("S2")
+				s2.AddTask(&entk.Task{
+					Name: "deepdrivemd", Cores: cores, Component: "S2",
+					Fn: func() {
+						driver := deepdrive.NewDriver(cfg.Target)
+						driver.Cfg.Seed = cfg.Seed ^ 0x52
+						driver.Cfg.OutliersPerLigand = cfg.OutliersPer
+						if cfg.FastProtocols {
+							driver.Cfg.Epochs = 4
+							driver.Cfg.MaxFrames = 240
+						}
+						rep, err := driver.Run(topEsts)
+						mu.Lock()
+						if err != nil {
+							fitErr = err
+						} else {
+							res.S2Report = rep
+							res.Funnel.S2Frames = rep.Frames
+						}
+						mu.Unlock()
+					},
+				})
+				// Adaptive hand-off: the FG stage is appended only after
+				// S2 produced its selections (§5.2.1 adaptivity).
+				s2.PostExec = func(p *entk.Pipeline) {
+					mu.Lock()
+					rep := res.S2Report
+					mu.Unlock()
+					if rep == nil {
+						return
+					}
+					fg := entk.NewStage("S3-FG")
+					fgEsts := make([]esmacs.Estimate, len(rep.Selections))
+					for i, sel := range rep.Selections {
+						i, sel := i, sel
+						fg.AddTask(&entk.Task{
+							Name: fmt.Sprintf("esmacs-fg-%d", i), Cores: 2, Component: "S3-FG",
+							Fn: func() {
+								fgEsts[i] = runner.Estimate(
+									chem.FromID(sel.Ref.MolID), sel.Ligand, fgProto)
+							},
+						})
+					}
+					fg.PostExec = func(p *entk.Pipeline) {
+						mu.Lock()
+						defer mu.Unlock()
+						res.FGEstimates = fgEsts
+						res.Funnel.FG = len(fgEsts)
+						bestFG := map[uint64]esmacs.Estimate{}
+						for _, est := range fgEsts {
+							if prev, ok := bestFG[est.MolID]; !ok || est.DeltaG < prev.DeltaG {
+								bestFG[est.MolID] = est
+							}
+						}
+						for _, est := range topEsts {
+							fge, ok := bestFG[est.MolID]
+							if !ok {
+								continue
+							}
+							res.Top = append(res.Top, TopComparison{
+								MolID: est.MolID,
+								CG:    est.DeltaG, CGErr: est.StdErr,
+								FG: fge.DeltaG, FGErr: fge.StdErr,
+								Truth: cfg.Target.TrueAffinity(chem.FromID(est.MolID)),
+							})
+						}
+					}
+					p.AddStage(fg)
+				}
+				p.AddStage(s2)
+			}
+			p.AddStage(cg)
+		}
+		p.AddStage(s1)
+	}
+
+	pipe.AddStage(s1train).AddStage(ml1)
+	am.Run(pipe)
+	am.Wait()
+
+	if fitErr != nil {
+		return nil, fmt.Errorf("campaign: entk run: %w", fitErr)
+	}
+	ids := make([]uint64, lib.Size())
+	for i := range ids {
+		ids[i] = lib.IDAt(i)
+	}
+	res.ScientificYield = yield(cfg.Target, ids, cgMols)
+	res.PilotTrace = pl.UtilizationTrace()
+	return res, nil
+}

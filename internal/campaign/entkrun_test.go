@@ -1,0 +1,62 @@
+package campaign
+
+import "testing"
+
+func TestRunViaEnTKEndToEnd(t *testing.T) {
+	cfg := fastConfig()
+	res, err := RunViaEnTK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Funnel
+	if f.Screened != cfg.LibrarySize {
+		t.Fatalf("screened = %d", f.Screened)
+	}
+	if f.CG != cfg.CGCount {
+		t.Fatalf("CG = %d", f.CG)
+	}
+	if f.FG != cfg.TopCompounds*cfg.OutliersPer {
+		t.Fatalf("FG = %d", f.FG)
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("no Fig. 6 comparisons")
+	}
+	// The pilot path must leave a utilization trace (the workflow engine
+	// actually executed the tasks).
+	if len(res.PilotTrace) == 0 {
+		t.Fatal("no pilot utilization trace")
+	}
+	// And the flop counter must be fed through pilot task accounting for
+	// every component name used by the stages.
+	for _, comp := range []string{"S1", "ML1", "S3-CG", "S2", "S3-FG"} {
+		if res.Counter.Get(comp).Units == 0 {
+			t.Fatalf("component %s never executed on the pilot", comp)
+		}
+	}
+}
+
+func TestRunViaEnTKMatchesDirectFunnelShape(t *testing.T) {
+	// The EnTK path and the direct path must agree on the funnel shape
+	// (they share engines but schedule differently, so scores may differ
+	// only where ordering-dependent RNG streams diverge — the structure
+	// must not).
+	cfg := fastConfig()
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaEntk, err := RunViaEnTK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Funnel.Screened != viaEntk.Funnel.Screened ||
+		direct.Funnel.CG != viaEntk.Funnel.CG {
+		t.Fatalf("funnels diverge: %+v vs %+v", direct.Funnel, viaEntk.Funnel)
+	}
+}
+
+func TestRunViaEnTKErrors(t *testing.T) {
+	if _, err := RunViaEnTK(Config{}); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}

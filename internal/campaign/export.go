@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export is the JSON-serializable summary of a campaign Result: what a
+// downstream consumer (plotting, database upload, the next iteration's
+// bookkeeping) needs, without in-memory-only artifacts like the trained
+// model or retained trajectories.
+type Export struct {
+	Funnel          FunnelStats       `json:"funnel"`
+	Top             []TopComparison   `json:"top_compounds"`
+	CG              []ExportEstimate  `json:"cg_estimates"`
+	FG              []ExportEstimate  `json:"fg_estimates"`
+	RES             *ExportRES        `json:"res,omitempty"`
+	Components      []ExportComponent `json:"components"`
+	ScientificYield float64           `json:"scientific_yield"`
+	TrainLoss       []float64         `json:"train_loss,omitempty"`
+	ValLoss         []float64         `json:"val_loss,omitempty"`
+}
+
+// ExportEstimate is the serializable form of an ESMACS estimate.
+type ExportEstimate struct {
+	MolID    string  `json:"mol_id"`
+	Protocol string  `json:"protocol"`
+	DeltaG   float64 `json:"delta_g"`
+	StdErr   float64 `json:"std_err"`
+	MeanRMSD float64 `json:"mean_rmsd"`
+}
+
+// ExportRES is the serializable RES surface.
+type ExportRES struct {
+	Alphas []float64   `json:"alphas"`
+	Betas  []float64   `json:"betas"`
+	R      [][]float64 `json:"recall"`
+}
+
+// ExportComponent is one FLOP-accounting row.
+type ExportComponent struct {
+	Component string  `json:"component"`
+	Flops     int64   `json:"flops"`
+	Units     int64   `json:"units"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// Export builds the serializable summary.
+func (r *Result) Export() Export {
+	e := Export{
+		Funnel:          r.Funnel,
+		Top:             r.Top,
+		ScientificYield: r.ScientificYield,
+		TrainLoss:       r.TrainReport.TrainLoss,
+		ValLoss:         r.TrainReport.ValLoss,
+	}
+	for _, est := range r.CGEstimates {
+		e.CG = append(e.CG, ExportEstimate{
+			MolID:    fmt.Sprintf("%016x", est.MolID),
+			Protocol: est.Protocol,
+			DeltaG:   est.DeltaG,
+			StdErr:   est.StdErr,
+			MeanRMSD: est.MeanRMSD,
+		})
+	}
+	for _, est := range r.FGEstimates {
+		e.FG = append(e.FG, ExportEstimate{
+			MolID:    fmt.Sprintf("%016x", est.MolID),
+			Protocol: est.Protocol,
+			DeltaG:   est.DeltaG,
+			StdErr:   est.StdErr,
+			MeanRMSD: est.MeanRMSD,
+		})
+	}
+	if r.RES != nil {
+		e.RES = &ExportRES{Alphas: r.RES.Alphas, Betas: r.RES.Betas, R: r.RES.R}
+	}
+	if r.Counter != nil {
+		for _, s := range r.Counter.Stats() {
+			e.Components = append(e.Components, ExportComponent{
+				Component: s.Component,
+				Flops:     s.Flops,
+				Units:     s.Units,
+				Seconds:   s.Seconds,
+			})
+		}
+	}
+	return e
+}
+
+// WriteJSON writes the export as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
+}
+
+// ReadExport parses a previously written export.
+func ReadExport(rd io.Reader) (Export, error) {
+	var e Export
+	err := json.NewDecoder(rd).Decode(&e)
+	return e, err
+}

@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Funnel != res.Funnel {
+		t.Fatalf("funnel mismatch: %+v vs %+v", got.Funnel, res.Funnel)
+	}
+	if len(got.CG) != len(res.CGEstimates) || len(got.FG) != len(res.FGEstimates) {
+		t.Fatal("estimate counts mismatch")
+	}
+	if len(got.Top) != len(res.Top) {
+		t.Fatal("top comparisons mismatch")
+	}
+	if got.RES == nil || len(got.RES.R) == 0 {
+		t.Fatal("RES surface missing")
+	}
+	if len(got.Components) == 0 {
+		t.Fatal("component accounting missing")
+	}
+	if got.ScientificYield != res.ScientificYield {
+		t.Fatal("yield mismatch")
+	}
+	// Mol IDs serialize as fixed-width hex.
+	for _, e := range got.CG {
+		if len(e.MolID) != 16 {
+			t.Fatalf("mol id %q not 16 hex chars", e.MolID)
+		}
+	}
+}
+
+func TestExportEmptyResult(t *testing.T) {
+	r := &Result{}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadExport(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPilotIsolation(t *testing.T) {
+	// §6.1.2 (iii): a pathological compound batch degrades only its own
+	// pilot.
+	clean := SimMultiPilotDocking(3, 64, 20000, -1, 5)
+	poisoned := SimMultiPilotDocking(3, 64, 20000, 0, 5)
+	if poisoned[0].Throughput >= clean[0].Throughput {
+		t.Fatalf("poison did not slow its pilot: %v vs %v",
+			poisoned[0].Throughput, clean[0].Throughput)
+	}
+	for p := 1; p < 3; p++ {
+		ratio := poisoned[p].Throughput / clean[p].Throughput
+		if ratio < 0.99 || ratio > 1.01 {
+			t.Fatalf("pilot %d affected by another pilot's workload: ratio %v", p, ratio)
+		}
+	}
+	t.Logf("poisoned pilot: %.0f/s vs clean %.0f/s; others isolated",
+		poisoned[0].Throughput, clean[0].Throughput)
+}

@@ -1,0 +1,50 @@
+package campaign
+
+import "impeccable/internal/chem"
+
+// IterationSummary captures the per-iteration trajectory of the
+// active-learning campaign.
+type IterationSummary struct {
+	Iteration int
+	PoolSize  int     // labelled compounds available before training
+	Yield     float64 // oracle-measured enrichment of the CG set
+	BestCG    float64 // best CG ΔG found this iteration
+	BestTruth float64 // true affinity of the best CG-ranked compound
+	ValLoss   float64 // surrogate final validation loss
+}
+
+// RunIterations executes n successive campaign iterations against fresh
+// library windows, with the surrogate retrained each round on all
+// docking labels accumulated so far — the feedback loop the paper argues
+// tunes the workflow to the target over time (§8: "over time the ML
+// component models improve such that the overall workflow becomes tuned
+// to the specific target problem").
+func RunIterations(cfg Config, n int) ([]*Result, []IterationSummary, error) {
+	pool := &Pool{}
+	var results []*Result
+	var summaries []IterationSummary
+	for it := 0; it < n; it++ {
+		poolBefore := pool.Size()
+		offset := uint64(it) * uint64(cfg.LibrarySize)
+		res, err := RunWithPool(cfg, pool, offset)
+		if err != nil {
+			return results, summaries, err
+		}
+		results = append(results, res)
+		sum := IterationSummary{
+			Iteration: it,
+			PoolSize:  poolBefore,
+			Yield:     res.ScientificYield,
+		}
+		if len(res.CGEstimates) > 0 {
+			best := res.CGEstimates[0] // sorted ascending by Run
+			sum.BestCG = best.DeltaG
+			sum.BestTruth = cfg.Target.TrueAffinity(chem.FromID(best.MolID))
+		}
+		if vl := res.TrainReport.ValLoss; len(vl) > 0 {
+			sum.ValLoss = vl[len(vl)-1]
+		}
+		summaries = append(summaries, sum)
+	}
+	return results, summaries, nil
+}

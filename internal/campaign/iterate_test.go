@@ -1,0 +1,55 @@
+package campaign
+
+import "testing"
+
+func TestRunIterationsAccumulatesPool(t *testing.T) {
+	cfg := fastConfig()
+	cfg.LibrarySize = 900
+	cfg.TrainSize = 200
+	results, sums, err := RunIterations(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || len(sums) != 3 {
+		t.Fatalf("iterations = %d/%d", len(results), len(sums))
+	}
+	// Pool must grow monotonically: each round adds its docking labels.
+	if sums[0].PoolSize != 0 {
+		t.Fatalf("first pool = %d", sums[0].PoolSize)
+	}
+	for i := 1; i < 3; i++ {
+		if sums[i].PoolSize <= sums[i-1].PoolSize {
+			t.Fatalf("pool did not grow: %d -> %d", sums[i-1].PoolSize, sums[i].PoolSize)
+		}
+	}
+	// Later iterations train on more data.
+	if results[2].TrainReport.Samples <= results[0].TrainReport.Samples {
+		t.Fatalf("training set did not grow: %d -> %d",
+			results[0].TrainReport.Samples, results[2].TrainReport.Samples)
+	}
+	for i, s := range sums {
+		t.Logf("iter %d: pool %d, yield %.2f, bestCG %.1f (truth %.1f), val loss %.4f",
+			i, s.PoolSize, s.Yield, s.BestCG, s.BestTruth, s.ValLoss)
+	}
+}
+
+func TestIterationsScreenDistinctWindows(t *testing.T) {
+	cfg := fastConfig()
+	cfg.LibrarySize = 600
+	cfg.TrainSize = 150
+	results, _, err := RunIterations(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CG compounds of the two iterations must not overlap (different
+	// library windows).
+	seen := map[uint64]bool{}
+	for _, est := range results[0].CGEstimates {
+		seen[est.MolID] = true
+	}
+	for _, est := range results[1].CGEstimates {
+		if seen[est.MolID] {
+			t.Fatalf("compound %x screened in both windows", est.MolID)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package chem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"impeccable/internal/geom"
+	"impeccable/internal/xrand"
+)
+
+func TestFromIDDeterministic(t *testing.T) {
+	f := func(id uint64) bool {
+		a := FromID(id)
+		b := FromID(id)
+		return a.SMILES == b.SMILES && a.Desc == b.Desc && a.FP() == b.FP() && a.Pharma() == b.Pharma()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctIDsDistinctMolecules(t *testing.T) {
+	seen := make(map[string]int)
+	for id := uint64(0); id < 500; id++ {
+		seen[FromID(id).SMILES]++
+	}
+	// SMILES collisions are expected (fragment chains repeat) but the
+	// generator must produce substantial diversity.
+	if len(seen) < 300 {
+		t.Fatalf("only %d distinct SMILES out of 500 molecules", len(seen))
+	}
+}
+
+func TestDescriptorRanges(t *testing.T) {
+	var mwSum float64
+	n := 2000
+	for id := uint64(0); id < uint64(n); id++ {
+		m := FromID(id)
+		d := m.Desc
+		if d.MW <= 0 || d.MW > 1200 {
+			t.Fatalf("mol %d: MW out of range: %v", id, d.MW)
+		}
+		if d.HeavyAtoms <= 0 || d.HeavyAtoms > 60 {
+			t.Fatalf("mol %d: heavy atoms out of range: %d", id, d.HeavyAtoms)
+		}
+		if d.HBD < 0 || d.HBA < 0 || d.Rings < 0 || d.RotBonds < 0 {
+			t.Fatalf("mol %d: negative descriptor %+v", id, d)
+		}
+		mwSum += d.MW
+	}
+	mean := mwSum / float64(n)
+	// Drug-like mean MW should land in a plausible window.
+	if mean < 150 || mean > 600 {
+		t.Fatalf("mean MW = %v, outside drug-like window", mean)
+	}
+}
+
+func TestLipinskiFractionReasonable(t *testing.T) {
+	pass := 0
+	n := 2000
+	for id := uint64(0); id < uint64(n); id++ {
+		if FromID(id).Lipinski() {
+			pass++
+		}
+	}
+	frac := float64(pass) / float64(n)
+	if frac < 0.2 || frac > 0.99 {
+		t.Fatalf("Lipinski pass fraction = %v, want a nontrivial mix", frac)
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	m := FromID(42)
+	v := m.FeatureVector()
+	if len(v) != FeatureDim {
+		t.Fatalf("feature dim = %d, want %d", len(v), FeatureDim)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("feature %d is %v", i, x)
+		}
+	}
+	// Fingerprint section must be 0/1.
+	for i := 0; i < FingerprintBits; i++ {
+		if v[i] != 0 && v[i] != 1 {
+			t.Fatalf("fingerprint feature %d = %v", i, v[i])
+		}
+	}
+}
+
+func TestFingerprintNonEmpty(t *testing.T) {
+	for id := uint64(0); id < 200; id++ {
+		if FromID(id).FP().PopCount() == 0 {
+			t.Fatalf("mol %d has empty fingerprint", id)
+		}
+	}
+}
+
+func TestTanimotoAxioms(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := FromID(x).FP(), FromID(y).FP()
+		s := Tanimoto(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if Tanimoto(a, b) != Tanimoto(b, a) {
+			return false
+		}
+		return Tanimoto(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedFragmentsRaiseSimilarity(t *testing.T) {
+	// Average similarity between random pairs vs pairs sharing a
+	// fragment chain prefix should differ strongly.
+	r := xrand.New(5)
+	var randomSim float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		a, b := FromID(r.Uint64()), FromID(r.Uint64())
+		randomSim += Tanimoto(a.FP(), b.FP())
+	}
+	randomSim /= n
+	if randomSim > 0.8 {
+		t.Fatalf("random pairs too similar on average: %v", randomSim)
+	}
+}
+
+func TestConformerDeterministic(t *testing.T) {
+	m := FromID(7)
+	a, b := NewConformer(m), NewConformer(m)
+	if len(a.Beads) != len(b.Beads) {
+		t.Fatal("conformer bead counts differ")
+	}
+	for i := range a.Beads {
+		if a.Beads[i] != b.Beads[i] {
+			t.Fatalf("bead %d differs", i)
+		}
+	}
+}
+
+func TestConformerCentered(t *testing.T) {
+	for id := uint64(0); id < 50; id++ {
+		c := NewConformer(FromID(id))
+		ctr := geom.Centroid(c.Positions())
+		if ctr.Norm() > 1e-9 {
+			t.Fatalf("mol %d conformer centroid = %v", id, ctr)
+		}
+	}
+}
+
+func TestConformerBeadCountMatchesDescriptor(t *testing.T) {
+	for id := uint64(0); id < 100; id++ {
+		m := FromID(id)
+		c := NewConformer(m)
+		// Conformer carries fragment beads only (no linker beads).
+		want := 0
+		for _, fi := range m.Fragments {
+			want += len(fragments[fi].Beads)
+		}
+		if len(c.Beads) != want {
+			t.Fatalf("mol %d: %d beads, want %d", id, len(c.Beads), want)
+		}
+	}
+}
+
+func TestApplyIdentityPose(t *testing.T) {
+	c := NewConformer(FromID(3))
+	got := c.Apply(geom.Vec3{}, geom.IdentityQuat(), make([]float64, c.NumTorsions()), nil)
+	for i, p := range got {
+		if p.Dist(c.Beads[i].Pos) > 1e-12 {
+			t.Fatalf("identity pose moved bead %d", i)
+		}
+	}
+}
+
+func TestApplyTranslation(t *testing.T) {
+	c := NewConformer(FromID(3))
+	shift := geom.Vec3{X: 5, Y: -2, Z: 1}
+	got := c.Apply(shift, geom.IdentityQuat(), nil, nil)
+	for i, p := range got {
+		if p.Dist(c.Beads[i].Pos.Add(shift)) > 1e-12 {
+			t.Fatalf("translation wrong for bead %d", i)
+		}
+	}
+}
+
+func TestApplyTorsionPreservesBondLengths(t *testing.T) {
+	// Torsion rotation is rigid within the moved group: inter-bead
+	// distances inside the moved set and inside the fixed set must be
+	// preserved.
+	var c *Conformer
+	for id := uint64(0); ; id++ {
+		c = NewConformer(FromID(id))
+		if c.NumTorsions() > 0 {
+			break
+		}
+		if id > 200 {
+			t.Skip("no torsional molecule found in first 200 IDs")
+		}
+	}
+	angles := make([]float64, c.NumTorsions())
+	angles[0] = 1.0
+	got := c.Apply(geom.Vec3{}, geom.IdentityQuat(), angles, nil)
+	tor := c.Torsions[0]
+	for i := tor.Moved; i < len(got); i++ {
+		for j := i + 1; j < len(got); j++ {
+			before := c.Beads[i].Pos.Dist(c.Beads[j].Pos)
+			after := got[i].Dist(got[j])
+			if math.Abs(before-after) > 1e-9 {
+				t.Fatalf("moved-group distance %d-%d changed: %v -> %v", i, j, before, after)
+			}
+		}
+	}
+	for i := 0; i < tor.Moved; i++ {
+		if got[i].Dist(c.Beads[i].Pos) > 1e-12 {
+			t.Fatalf("fixed bead %d moved under torsion", i)
+		}
+	}
+}
+
+func TestApplyReusesBuffer(t *testing.T) {
+	c := NewConformer(FromID(9))
+	buf := make([]geom.Vec3, 0, len(c.Beads)+10)
+	got := c.Apply(geom.Vec3{}, geom.IdentityQuat(), nil, buf)
+	if cap(got) != cap(buf) {
+		t.Fatal("Apply did not reuse provided buffer")
+	}
+}
+
+func TestLibraryDeterministicAndInRange(t *testing.T) {
+	lib := NewLibrary("T", 1, 0, 100)
+	if lib.Size() != 100 {
+		t.Fatalf("size = %d", lib.Size())
+	}
+	if lib.IDAt(5) != lib.IDAt(5) {
+		t.Fatal("IDAt not deterministic")
+	}
+	a, b := lib.At(10), lib.At(10)
+	if a.SMILES != b.SMILES {
+		t.Fatal("At not deterministic")
+	}
+}
+
+func TestLibraryPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLibrary("T", 1, 0, 10).IDAt(10)
+}
+
+func TestStandardLibrariesOverlap(t *testing.T) {
+	ozd, ord := StandardLibraries(7, 0.001)
+	if ozd.Size() != 6500 || ord.Size() != 6500 {
+		t.Fatalf("sizes = %d, %d", ozd.Size(), ord.Size())
+	}
+	ov := Overlap(ozd, ord)
+	if ov != 1500 {
+		t.Fatalf("overlap = %d, want 1500", ov)
+	}
+	// Shared universe indices yield identical molecule IDs.
+	shared := map[uint64]bool{}
+	for i := 0; i < ozd.Size(); i++ {
+		shared[ozd.IDAt(i)] = true
+	}
+	hits := 0
+	for i := 0; i < ord.Size(); i++ {
+		if shared[ord.IDAt(i)] {
+			hits++
+		}
+	}
+	if hits != ov {
+		t.Fatalf("actual shared IDs = %d, want %d", hits, ov)
+	}
+}
+
+func TestOverlapDifferentUniverse(t *testing.T) {
+	a := NewLibrary("A", 1, 0, 100)
+	b := NewLibrary("B", 2, 0, 100)
+	if Overlap(a, b) != 0 {
+		t.Fatal("different universes should not overlap")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	lib := NewLibrary("T", 3, 0, 1000)
+	ids := lib.Sample(xrand.New(1), 100)
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[id] = true
+	}
+	if len(ids) != 100 {
+		t.Fatalf("sample size = %d", len(ids))
+	}
+}
+
+func TestMaxMinDiverseProperties(t *testing.T) {
+	r := xrand.New(11)
+	mols := make([]*Molecule, 200)
+	for i := range mols {
+		mols[i] = FromID(r.Uint64())
+	}
+	sel := MaxMinDiverse(mols, 20, 0)
+	if len(sel) != 20 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if i < 0 || i >= len(mols) || seen[i] {
+			t.Fatalf("bad selection index %d", i)
+		}
+		seen[i] = true
+	}
+	// Diversity of MaxMin picks should beat a random subset.
+	pick := make([]*Molecule, 0, 20)
+	for _, i := range sel {
+		pick = append(pick, mols[i])
+	}
+	random := mols[:20]
+	if MeanPairwiseDistance(pick) < MeanPairwiseDistance(random)*0.95 {
+		t.Fatalf("MaxMin diversity %v not better than random %v",
+			MeanPairwiseDistance(pick), MeanPairwiseDistance(random))
+	}
+}
+
+func TestMaxMinDiverseEdgeCases(t *testing.T) {
+	if got := MaxMinDiverse(nil, 5, 0); len(got) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	mols := []*Molecule{FromID(1), FromID(2)}
+	if got := MaxMinDiverse(mols, 5, 0); len(got) != 2 {
+		t.Fatalf("k>n should return all: %v", got)
+	}
+}
+
+func TestFragmentTableSane(t *testing.T) {
+	if FragmentCount() < 20 {
+		t.Fatalf("fragment alphabet too small: %d", FragmentCount())
+	}
+	for i := 0; i < FragmentCount(); i++ {
+		f := FragmentByIndex(i)
+		if f.Token == "" || f.MW <= 0 || len(f.Beads) == 0 || f.Weight <= 0 {
+			t.Fatalf("fragment %d malformed: %+v", i, f)
+		}
+	}
+}
+
+func TestPharmaVariesAcrossMolecules(t *testing.T) {
+	a, b := FromID(1).Pharma(), FromID(2).Pharma()
+	if a == b {
+		t.Fatal("pharmacophores identical for distinct molecules")
+	}
+}
+
+func BenchmarkFromID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = FromID(uint64(i))
+	}
+}
+
+func BenchmarkFingerprintTanimoto(b *testing.B) {
+	x, y := FromID(1).FP(), FromID(2).FP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Tanimoto(x, y)
+	}
+}
+
+func BenchmarkConformerApply(b *testing.B) {
+	c := NewConformer(FromID(5))
+	angles := make([]float64, c.NumTorsions())
+	buf := make([]geom.Vec3, len(c.Beads))
+	q := geom.AxisAngle(geom.Vec3{X: 1, Y: 1, Z: 0}, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Apply(geom.Vec3{X: 1}, q, angles, buf)
+	}
+}

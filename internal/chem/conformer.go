@@ -1,0 +1,154 @@
+package chem
+
+import (
+	"impeccable/internal/geom"
+	"impeccable/internal/xrand"
+)
+
+// Bead is a coarse-grained interaction site of a ligand conformer.
+type Bead struct {
+	Pos    geom.Vec3
+	Class  BeadClass
+	Radius float64 // van der Waals-like radius (Å)
+	Charge float64 // formal charge contribution
+}
+
+// Torsion is a rotatable bond in the ligand's kinematic chain. Rotating
+// the torsion by an angle rotates every bead with index >= Moved about the
+// axis from bead AxisA to bead AxisB.
+type Torsion struct {
+	AxisA, AxisB int // bead indices defining the rotation axis
+	Moved        int // first bead index affected by this torsion
+}
+
+// Conformer is a 3-D embedding of a molecule: the input representation for
+// docking (S1) and the ligand model for MD (S2/S3). Conformers are built
+// deterministically from the molecule ID so docking inputs are
+// reproducible, like the paper's pre-enumerated 3-D libraries.
+type Conformer struct {
+	MolID    uint64
+	Beads    []Bead
+	Torsions []Torsion
+}
+
+// beadRadius and beadCharge give per-class coarse parameters.
+var beadRadius = [NumBeadClasses]float64{
+	BeadHydrophobe: 1.9,
+	BeadAromatic:   1.8,
+	BeadDonor:      1.6,
+	BeadAcceptor:   1.5,
+	BeadPositive:   1.7,
+	BeadNegative:   1.6,
+	BeadPolar:      1.6,
+}
+
+var beadCharge = [NumBeadClasses]float64{
+	BeadPositive: +1,
+	BeadNegative: -1,
+	BeadDonor:    +0.2,
+	BeadAcceptor: -0.2,
+	BeadPolar:    -0.1,
+}
+
+// NewConformer builds the canonical 3-D conformer for m: fragments are laid
+// out along a backbone with deterministic jitter; a torsion is emitted at
+// each rotatable inter-fragment bond.
+func NewConformer(m *Molecule) *Conformer {
+	r := xrand.New(m.ID ^ 0xC2B2AE3D27D4EB4F)
+	c := &Conformer{MolID: m.ID}
+	cursor := geom.Vec3{}
+	dir := geom.Vec3{X: 1}
+	for fi, idx := range m.Fragments {
+		f := fragments[idx]
+		first := len(c.Beads)
+		for bi, class := range f.Beads {
+			// Beads within a fragment cluster around the fragment
+			// origin with ~1.4 Å spacing (aromatic C–C bond scale).
+			jitter := geom.Vec3{
+				X: r.Norm(0, 0.35),
+				Y: r.Norm(0, 0.9),
+				Z: r.Norm(0, 0.9),
+			}
+			pos := cursor.Add(dir.Scale(1.4 * float64(bi))).Add(jitter)
+			c.Beads = append(c.Beads, Bead{
+				Pos:    pos,
+				Class:  class,
+				Radius: beadRadius[class],
+				Charge: beadCharge[class],
+			})
+		}
+		// Advance the backbone cursor past this fragment and bend the
+		// chain slightly, as real conformers are not linear rods.
+		adv := 1.4*float64(len(f.Beads)) + 1.5
+		cursor = cursor.Add(dir.Scale(adv))
+		bend := geom.AxisAngle(geom.Vec3{Z: 1}, r.Norm(0, 0.5))
+		dir = bend.Rotate(dir).Unit()
+
+		// Rotatable bond between fragment fi-1 and fi.
+		if fi > 0 && f.Rot > 0 && first > 0 {
+			c.Torsions = append(c.Torsions, Torsion{
+				AxisA: first - 1,
+				AxisB: first,
+				Moved: first,
+			})
+		}
+	}
+	// Center the conformer on its centroid so poses translate about the
+	// molecular center.
+	pts := make([]geom.Vec3, len(c.Beads))
+	for i := range c.Beads {
+		pts[i] = c.Beads[i].Pos
+	}
+	ctr := geom.Centroid(pts)
+	for i := range c.Beads {
+		c.Beads[i].Pos = c.Beads[i].Pos.Sub(ctr)
+	}
+	return c
+}
+
+// NumTorsions returns the number of rotatable bonds in the conformer.
+func (c *Conformer) NumTorsions() int { return len(c.Torsions) }
+
+// Positions returns a copy of the bead coordinates.
+func (c *Conformer) Positions() []geom.Vec3 {
+	pts := make([]geom.Vec3, len(c.Beads))
+	for i := range c.Beads {
+		pts[i] = c.Beads[i].Pos
+	}
+	return pts
+}
+
+// Apply returns the bead positions under a pose transform: torsion angles
+// are applied along the kinematic chain, then the rigid rotation q, then
+// translation t. The receiver is not modified. The dst slice is reused if
+// it has sufficient capacity.
+func (c *Conformer) Apply(t geom.Vec3, q geom.Quat, torsionAngles []float64, dst []geom.Vec3) []geom.Vec3 {
+	if cap(dst) < len(c.Beads) {
+		dst = make([]geom.Vec3, len(c.Beads))
+	}
+	dst = dst[:len(c.Beads)]
+	for i := range c.Beads {
+		dst[i] = c.Beads[i].Pos
+	}
+	// Torsions first, in chain order: rotating torsion k moves beads
+	// [Moved, end) about the (possibly already-moved) axis.
+	for k, tor := range c.Torsions {
+		if k >= len(torsionAngles) {
+			break
+		}
+		ang := torsionAngles[k]
+		if ang == 0 {
+			continue
+		}
+		origin := dst[tor.AxisA]
+		axis := dst[tor.AxisB].Sub(origin)
+		rot := geom.AxisAngle(axis, ang)
+		for i := tor.Moved; i < len(dst); i++ {
+			dst[i] = rot.Rotate(dst[i].Sub(origin)).Add(origin)
+		}
+	}
+	for i := range dst {
+		dst[i] = q.Rotate(dst[i]).Add(t)
+	}
+	return dst
+}

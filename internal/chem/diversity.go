@@ -1,0 +1,78 @@
+package chem
+
+// MaxMinDiverse selects k structurally diverse molecules from the candidate
+// set using the MaxMin algorithm over Soergel (1-Tanimoto) fingerprint
+// distance: starting from the given seed index, each step adds the
+// candidate whose minimum distance to the already-selected set is largest.
+//
+// This reproduces the paper's §7.1.2 step, which picks "the structurally
+// most diverse compounds" from the docking winners before spending
+// CG-ESMACS node-hours on them. Returns indices into mols.
+func MaxMinDiverse(mols []*Molecule, k int, seed int) []int {
+	n := len(mols)
+	if k >= n {
+		sel := make([]int, n)
+		for i := range sel {
+			sel[i] = i
+		}
+		return sel
+	}
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if seed < 0 || seed >= n {
+		seed = 0
+	}
+	fps := make([]Fingerprint, n)
+	for i, m := range mols {
+		fps[i] = m.FP()
+	}
+	selected := make([]int, 0, k)
+	selected = append(selected, seed)
+	// minDist[i] = distance from candidate i to the nearest selected.
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = Distance(fps[i], fps[seed])
+	}
+	minDist[seed] = -1 // mark selected
+	for len(selected) < k {
+		best, bestD := -1, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, best)
+		minDist[best] = -1
+		for i := range minDist {
+			if minDist[i] < 0 {
+				continue
+			}
+			if d := Distance(fps[i], fps[best]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return selected
+}
+
+// MeanPairwiseDistance returns the mean Soergel distance over all pairs of
+// the given molecules (a diversity score; 0 for fewer than two molecules).
+func MeanPairwiseDistance(mols []*Molecule) float64 {
+	n := len(mols)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += Distance(mols[i].FP(), mols[j].FP())
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,76 @@
+package chem
+
+import "math/bits"
+
+// FingerprintBits is the width of the hashed structural fingerprint.
+// 256 bits is a common folded-ECFP size and keeps the surrogate's input
+// dimensionality tractable.
+const FingerprintBits = 256
+
+// fpWords is the number of 64-bit words backing a fingerprint.
+const fpWords = FingerprintBits / 64
+
+// Fingerprint is a folded, hashed circular fingerprint in the spirit of
+// ECFP/Morgan fingerprints: substructure environments of radius 0, 1 and 2
+// (fragment; fragment+predecessor; fragment+both neighbours) are hashed
+// into a fixed-width bit vector.
+type Fingerprint [fpWords]uint64
+
+// computeFingerprint hashes radius-0/1/2 fragment environments into bits.
+func computeFingerprint(frags []int) Fingerprint {
+	var fp Fingerprint
+	set := func(h uint64) {
+		fp[(h>>6)%fpWords] |= 1 << (h & 63)
+	}
+	for i, f := range frags {
+		h0 := mixFP(uint64(f) + 1)
+		set(h0)
+		if i > 0 {
+			h1 := mixFP(h0*31 + uint64(frags[i-1]) + 1)
+			set(h1)
+			if i+1 < len(frags) {
+				h2 := mixFP(h1*37 + uint64(frags[i+1]) + 1)
+				set(h2)
+			}
+		}
+	}
+	return fp
+}
+
+func mixFP(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	return z ^ (z >> 33)
+}
+
+// Bit reports whether bit i is set.
+func (f Fingerprint) Bit(i int) bool {
+	return f[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// PopCount returns the number of set bits.
+func (f Fingerprint) PopCount() int {
+	n := 0
+	for _, w := range f {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Tanimoto returns the Tanimoto (Jaccard) similarity between two
+// fingerprints: |a∧b| / |a∨b|. Two empty fingerprints have similarity 1.
+func Tanimoto(a, b Fingerprint) float64 {
+	var and, or int
+	for i := 0; i < fpWords; i++ {
+		and += bits.OnesCount64(a[i] & b[i])
+		or += bits.OnesCount64(a[i] | b[i])
+	}
+	if or == 0 {
+		return 1
+	}
+	return float64(and) / float64(or)
+}
+
+// Distance returns the Soergel distance 1 - Tanimoto(a, b), a proper
+// metric on fingerprint space used by the MaxMin diversity picker.
+func Distance(a, b Fingerprint) float64 { return 1 - Tanimoto(a, b) }

@@ -1,0 +1,161 @@
+package chem
+
+import (
+	"fmt"
+	"strings"
+
+	"impeccable/internal/xrand"
+)
+
+// Descriptors are the classical 2-D physicochemical descriptors used for
+// featurization, filtering (Lipinski) and reporting.
+type Descriptors struct {
+	MW         float64 // molecular weight (Da)
+	LogP       float64 // lipophilicity
+	HBD        int     // H-bond donors
+	HBA        int     // H-bond acceptors
+	TPSA       float64 // topological polar surface area (Å²)
+	RotBonds   int     // rotatable bonds
+	Rings      int     // ring count
+	HeavyAtoms int     // heavy-atom (bead) count
+}
+
+// Molecule is a synthetic compound. A molecule is fully determined by its
+// 64-bit ID: the same ID regenerates the same structure, descriptors,
+// fingerprint and hidden pharmacophore in any process, which lets
+// multi-million-compound libraries exist without storage.
+type Molecule struct {
+	ID        uint64
+	SMILES    string
+	Fragments []int // indices into the fragment alphabet, in chain order
+	Desc      Descriptors
+	pharma    [PharmaDim]float64
+	fp        Fingerprint
+}
+
+// FromID deterministically materializes the molecule with the given ID.
+func FromID(id uint64) *Molecule {
+	r := xrand.New(id ^ 0xD6E8FEB86659FD93)
+	nf := 2 + r.Intn(6) // 2..7 fragments
+	m := &Molecule{ID: id, Fragments: make([]int, 0, nf)}
+
+	weights := make([]float64, len(fragments))
+	for i, f := range fragments {
+		weights[i] = f.Weight
+	}
+	for k := 0; k < nf; k++ {
+		idx := r.Choice(weights)
+		f := fragments[idx]
+		if f.Terminal && k != nf-1 {
+			// Terminal caps may only close the chain; resample once,
+			// accepting whatever comes (keeps generation O(1)).
+			idx = r.Choice(weights)
+			f = fragments[idx]
+			if f.Terminal && k != nf-1 {
+				idx = 0 // fall back to benzene
+				f = fragments[idx]
+			}
+		}
+		m.Fragments = append(m.Fragments, idx)
+	}
+	m.finalize(r)
+	return m
+}
+
+// finalize derives the string, descriptors, pharmacophore and fingerprint
+// from the fragment chain.
+func (m *Molecule) finalize(r *xrand.RNG) {
+	var b strings.Builder
+	for i, idx := range m.Fragments {
+		f := fragments[idx]
+		if i > 0 {
+			b.WriteByte('C') // linker atom
+		}
+		b.WriteString(f.Token)
+		m.Desc.MW += f.MW
+		m.Desc.LogP += f.LogP
+		m.Desc.HBD += f.HBD
+		m.Desc.HBA += f.HBA
+		m.Desc.TPSA += f.TPSA
+		if i > 0 {
+			m.Desc.RotBonds += f.Rot
+		}
+		if f.Ring {
+			m.Desc.Rings++
+		}
+		m.Desc.HeavyAtoms += len(f.Beads)
+		for k := 0; k < PharmaDim; k++ {
+			m.pharma[k] += f.Pharma[k]
+		}
+	}
+	// Linker atoms contribute weight and a heavy atom each.
+	nLink := len(m.Fragments) - 1
+	m.Desc.MW += 12.0 * float64(nLink)
+	m.Desc.HeavyAtoms += nLink
+	m.SMILES = b.String()
+
+	// Pairwise fragment-interaction pharmacophore terms: adjacent
+	// fragments interact, so the affinity landscape is not purely
+	// additive (docking and MD would be pointless against a linear
+	// ground truth).
+	for i := 0; i+1 < len(m.Fragments); i++ {
+		h := xrand.NewFrom(uint64(m.Fragments[i])<<32|uint64(m.Fragments[i+1]), 0xA5A5)
+		for k := 0; k < PharmaDim; k++ {
+			m.pharma[k] += 0.3 * h.NormFloat64()
+		}
+	}
+	// Small molecule-specific idiosyncrasy (conformational preference,
+	// stereochemistry...) so no two molecules are exactly alike even
+	// with identical fragment chains.
+	for k := 0; k < PharmaDim; k++ {
+		m.pharma[k] += 0.15 * r.NormFloat64()
+	}
+	m.fp = computeFingerprint(m.Fragments)
+}
+
+// Pharma returns the hidden pharmacophore embedding. Only the receptor
+// ground-truth oracle may consult this; pipeline stages must work from
+// SMILES/fingerprints/poses like their real counterparts.
+func (m *Molecule) Pharma() [PharmaDim]float64 { return m.pharma }
+
+// FP returns the molecule's hashed structural fingerprint.
+func (m *Molecule) FP() Fingerprint { return m.fp }
+
+// Lipinski reports whether the molecule satisfies Lipinski's rule of five
+// (the standard drug-likeness filter applied when building screening
+// libraries).
+func (m *Molecule) Lipinski() bool {
+	d := m.Desc
+	return d.MW <= 500 && d.LogP <= 5 && d.HBD <= 5 && d.HBA <= 10
+}
+
+// String implements fmt.Stringer with a compact identity line.
+func (m *Molecule) String() string {
+	return fmt.Sprintf("mol-%016x %s (MW %.1f, logP %.2f)", m.ID, m.SMILES, m.Desc.MW, m.Desc.LogP)
+}
+
+// FeatureVector flattens fingerprint bits and normalized descriptors into
+// the input representation consumed by the ML1 surrogate. The layout is
+// [fingerprint bits (0/1)..., MW/500, logP/5, HBD/5, HBA/10, TPSA/150,
+// RotBonds/10, Rings/5, HeavyAtoms/40].
+func (m *Molecule) FeatureVector() []float64 {
+	v := make([]float64, FingerprintBits+8)
+	for i := 0; i < FingerprintBits; i++ {
+		if m.fp.Bit(i) {
+			v[i] = 1
+		}
+	}
+	d := m.Desc
+	v[FingerprintBits+0] = d.MW / 500
+	v[FingerprintBits+1] = d.LogP / 5
+	v[FingerprintBits+2] = float64(d.HBD) / 5
+	v[FingerprintBits+3] = float64(d.HBA) / 10
+	v[FingerprintBits+4] = d.TPSA / 150
+	v[FingerprintBits+5] = float64(d.RotBonds) / 10
+	v[FingerprintBits+6] = float64(d.Rings) / 5
+	v[FingerprintBits+7] = float64(d.HeavyAtoms) / 40
+	return v
+}
+
+// FeatureDim is the length of FeatureVector.
+const FeatureDim = FingerprintBits + 8

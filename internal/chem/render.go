@@ -1,0 +1,86 @@
+package chem
+
+import "math"
+
+// ImageSize is the side length of the 2-D molecule depictions used by the
+// image-based surrogate variant (the paper renders molecules with rdKit's
+// mol2D drawer and feeds them to a ResNet-50; this substrate renders the
+// conformer's 2-D projection at a resolution matched to its CNN).
+const ImageSize = 16
+
+// ImageChannels encodes atom coloring: channel 0 carries the carbon
+// skeleton (hydrophobic + aromatic beads), channel 1 H-bond donors and
+// cations, channel 2 acceptors, anions and neutral polar beads.
+const ImageChannels = 3
+
+// ImageDim is the flattened image length.
+const ImageDim = ImageChannels * ImageSize * ImageSize
+
+// channelOf maps a bead class to its depiction channel.
+func channelOf(c BeadClass) int {
+	switch c {
+	case BeadHydrophobe, BeadAromatic:
+		return 0
+	case BeadDonor, BeadPositive:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Render2D draws the molecule's canonical conformer as a 2-D depiction:
+// beads are orthographically projected onto the x-y plane, scaled to the
+// canvas, and splatted as small Gaussians into their class channel. The
+// output is flattened channel-major (ImageDim values in [0, ~1]).
+func Render2D(m *Molecule) []float64 {
+	conf := NewConformer(m)
+	img := make([]float64, ImageDim)
+	if len(conf.Beads) == 0 {
+		return img
+	}
+	// Bounding box of the projection, padded.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, b := range conf.Beads {
+		minX, maxX = math.Min(minX, b.Pos.X), math.Max(maxX, b.Pos.X)
+		minY, maxY = math.Min(minY, b.Pos.Y), math.Max(maxY, b.Pos.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	span := math.Max(spanX, spanY)
+	if span < 1 {
+		span = 1
+	}
+	pad := 0.1 * span
+	scale := float64(ImageSize-1) / (span + 2*pad)
+	// Center the drawing.
+	offX := (span - spanX) / 2
+	offY := (span - spanY) / 2
+
+	const sigma = 0.8 // splat width in pixels
+	for _, b := range conf.Beads {
+		px := (b.Pos.X - minX + pad + offX) * scale
+		py := (b.Pos.Y - minY + pad + offY) * scale
+		ch := channelOf(b.Class)
+		x0, x1 := int(px)-2, int(px)+2
+		y0, y1 := int(py)-2, int(py)+2
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= ImageSize {
+				continue
+			}
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= ImageSize {
+					continue
+				}
+				dx := float64(x) - px
+				dy := float64(y) - py
+				img[(ch*ImageSize+y)*ImageSize+x] += math.Exp(-(dx*dx + dy*dy) / (2 * sigma * sigma))
+			}
+		}
+	}
+	// Soft clamp so dense molecules do not blow up intensities.
+	for i, v := range img {
+		img[i] = math.Tanh(v)
+	}
+	return img
+}

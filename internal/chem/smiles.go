@@ -1,0 +1,130 @@
+package chem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"impeccable/internal/xrand"
+)
+
+// The SMILES-like strings this package emits have the grammar
+//
+//	molecule := fragment ("C" fragment)*
+//
+// over the fragment alphabet's tokens. ParseSMILES inverts Molecule
+// generation: it recovers the fragment chain by greedy longest-token
+// matching and rebuilds the molecule. Because a molecule's descriptors,
+// fingerprint and conformer are functions of its fragment chain (plus a
+// chain-derived idiosyncrasy seed for parsed molecules), parsing gives a
+// fully usable Molecule for every pipeline stage.
+
+// tokensByLength caches fragment tokens sorted longest-first for greedy
+// matching, with their indices.
+var tokensByLength []struct {
+	token string
+	idx   int
+}
+
+func init() {
+	for i, f := range fragments {
+		tokensByLength = append(tokensByLength, struct {
+			token string
+			idx   int
+		}{f.Token, i})
+	}
+	sort.Slice(tokensByLength, func(a, b int) bool {
+		if len(tokensByLength[a].token) != len(tokensByLength[b].token) {
+			return len(tokensByLength[a].token) > len(tokensByLength[b].token)
+		}
+		return tokensByLength[a].token < tokensByLength[b].token
+	})
+}
+
+// ParseSMILES parses a SMILES-like string produced by this package (or
+// hand-written over the same fragment alphabet) into a Molecule. The
+// grammar is ambiguous at C-boundaries (as real SMILES is before
+// canonicalization); the parser resolves ambiguity by backtracking with
+// longest-token preference, so it accepts every string the generator can
+// emit. The returned molecule's ID derives from the recovered fragment
+// chain, so the same string always parses to the same molecule.
+func ParseSMILES(s string) (*Molecule, error) {
+	if s == "" {
+		return nil, fmt.Errorf("chem: empty SMILES")
+	}
+	p := &smilesParser{s: s, failed: make(map[int]bool)}
+	frags, ok := p.parse(0, true)
+	if !ok || len(frags) == 0 {
+		return nil, fmt.Errorf("chem: cannot parse SMILES %q (furthest offset %d)",
+			truncate(s, 24), p.furthest)
+	}
+	return FromFragments(frags), nil
+}
+
+type smilesParser struct {
+	s        string
+	failed   map[int]bool // non-initial positions proven unparseable
+	furthest int          // deepest failure offset, for error messages
+}
+
+// parse consumes s[pos:] as (linker? token)* — linker required unless
+// first — returning the fragment chain.
+func (p *smilesParser) parse(pos int, first bool) ([]int, bool) {
+	if pos == len(p.s) {
+		return nil, true
+	}
+	if !first && p.failed[pos] {
+		return nil, false
+	}
+	at := pos
+	if !first {
+		if p.s[at] != 'C' {
+			p.fail(pos, first)
+			return nil, false
+		}
+		at++
+	}
+	for _, t := range tokensByLength {
+		if !strings.HasPrefix(p.s[at:], t.token) {
+			continue
+		}
+		if tail, ok := p.parse(at+len(t.token), false); ok {
+			return append([]int{t.idx}, tail...), true
+		}
+	}
+	p.fail(pos, first)
+	return nil, false
+}
+
+func (p *smilesParser) fail(pos int, first bool) {
+	if !first {
+		p.failed[pos] = true
+	}
+	if pos > p.furthest {
+		p.furthest = pos
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// FromFragments builds the molecule with the given fragment chain. The
+// molecule ID (and hence the idiosyncratic part of its pharmacophore and
+// its conformer geometry) is derived deterministically from the chain, so
+// structurally identical inputs are the same compound.
+func FromFragments(frags []int) *Molecule {
+	if len(frags) == 0 {
+		panic("chem: FromFragments with empty chain")
+	}
+	var h uint64 = 0x9AE16A3B2F90404F
+	for _, f := range frags {
+		h = h*0x100000001B3 + uint64(f) + 1
+	}
+	m := &Molecule{ID: h, Fragments: append([]int(nil), frags...)}
+	m.finalize(xrand.New(h ^ 0xD6E8FEB86659FD93))
+	return m
+}

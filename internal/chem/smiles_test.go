@@ -1,0 +1,132 @@
+package chem
+
+import (
+	"testing"
+
+	"impeccable/internal/xrand"
+)
+
+func TestParseSMILESRoundTripFragments(t *testing.T) {
+	// Parsing the SMILES of a generated molecule must recover a molecule
+	// with the same canonical string and identical descriptors and
+	// fingerprint (fragment-chain determined).
+	r := xrand.New(1)
+	misparsed := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		orig := FromID(r.Uint64())
+		parsed, err := ParseSMILES(orig.SMILES)
+		if err != nil {
+			t.Fatalf("mol %d (%s): %v", i, orig.SMILES, err)
+		}
+		if !equalChains(parsed.Fragments, orig.Fragments) {
+			// The emitted grammar is ambiguous at C-boundaries (like
+			// real SMILES before canonicalization): distinct chains
+			// can print identically, and greedy matching may pick a
+			// different valid split. Count these; they must be rare.
+			misparsed++
+			continue
+		}
+		if parsed.SMILES != orig.SMILES {
+			t.Fatalf("same chain, different SMILES: %q vs %q", parsed.SMILES, orig.SMILES)
+		}
+		if parsed.Desc != orig.Desc {
+			t.Fatalf("descriptors differ after round trip: %+v vs %+v",
+				parsed.Desc, orig.Desc)
+		}
+		if parsed.FP() != orig.FP() {
+			t.Fatal("fingerprint differs after round trip")
+		}
+	}
+	if misparsed > n/5 {
+		t.Fatalf("too many ambiguous parses: %d/%d", misparsed, n)
+	}
+	t.Logf("round-trip exact for %d/%d molecules", n-misparsed, n)
+}
+
+func equalChains(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseSMILESStable(t *testing.T) {
+	a, err := ParseSMILES("c1ccccc1CC(=O)N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSMILES("c1ccccc1CC(=O)N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID || a.SMILES != b.SMILES {
+		t.Fatal("parsing not deterministic")
+	}
+	if a.Desc.Rings != 1 {
+		t.Fatalf("benzene ring not counted: %+v", a.Desc)
+	}
+	if a.Desc.HBD < 1 || a.Desc.HBA < 1 {
+		t.Fatalf("amide donors/acceptors not counted: %+v", a.Desc)
+	}
+}
+
+func TestParseSMILESErrors(t *testing.T) {
+	for _, bad := range []string{"", "Xx", "c1ccccc1CZZZ"} {
+		if _, err := ParseSMILES(bad); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
+func TestFromFragmentsIdentity(t *testing.T) {
+	a := FromFragments([]int{0, 12, 19})
+	b := FromFragments([]int{0, 12, 19})
+	if a.ID != b.ID || a.Pharma() != b.Pharma() {
+		t.Fatal("FromFragments not deterministic")
+	}
+	c := FromFragments([]int{0, 19, 12})
+	if c.ID == a.ID {
+		t.Fatal("order-insensitive ID collision")
+	}
+}
+
+func TestFromFragmentsPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FromFragments(nil)
+}
+
+func TestParsedMoleculeWorksDownstream(t *testing.T) {
+	// Parsed molecules must be usable by every stage: conformer, feature
+	// vector, image rendering.
+	m, err := ParseSMILES("C1CCNCC1Cc1ccncc1CC(=O)O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := NewConformer(m); len(c.Beads) == 0 {
+		t.Fatal("no conformer")
+	}
+	if v := m.FeatureVector(); len(v) != FeatureDim {
+		t.Fatal("bad feature vector")
+	}
+	if img := Render2D(m); len(img) != ImageDim {
+		t.Fatal("bad depiction")
+	}
+}
+
+func BenchmarkParseSMILES(b *testing.B) {
+	s := FromID(1).SMILES
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ParseSMILES(s)
+	}
+}

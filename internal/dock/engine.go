@@ -1,0 +1,84 @@
+package dock
+
+import (
+	"runtime"
+	"sync"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+	"impeccable/internal/xrand"
+)
+
+// Engine docks batches of ligands against a single receptor, reusing the
+// receptor across ligands exactly as AutoDock-GPU's receptor-reuse mode
+// does (§5.1.1), and processing ligands in parallel over a worker pool
+// (the goroutine equivalent of GPU compute-unit parallelism hidden behind
+// AutoDock-GPU's OpenMP input/staging pipeline).
+type Engine struct {
+	Target  *receptor.Target
+	Params  Params
+	Workers int    // worker pool width; 0 means GOMAXPROCS
+	Seed    uint64 // base seed; each ligand docks on a private stream
+}
+
+// NewEngine builds a docking engine with default parameters.
+func NewEngine(t *receptor.Target, seed uint64) *Engine {
+	return &Engine{Target: t, Params: DefaultParams(), Seed: seed}
+}
+
+// DockOne docks a single molecule.
+func (e *Engine) DockOne(m *chem.Molecule) Result {
+	s := NewScoreFunc(e.Target, m)
+	r := xrand.NewFrom(e.Seed, m.ID)
+	return Dock(s, e.Params, r)
+}
+
+// DockBatch docks every molecule, preserving input order in the results.
+func (e *Engine) DockBatch(mols []*chem.Molecule) []Result {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(mols) {
+		workers = len(mols)
+	}
+	if workers <= 1 {
+		out := make([]Result, len(mols))
+		for i, m := range mols {
+			out[i] = e.DockOne(m)
+		}
+		return out
+	}
+	out := make([]Result, len(mols))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(mols) {
+					return
+				}
+				out[i] = e.DockOne(mols[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// DockIDs docks molecules given by ID, materializing them on the fly (the
+// streaming pattern used when iterating a multi-million-compound library).
+func (e *Engine) DockIDs(ids []uint64) []Result {
+	mols := make([]*chem.Molecule, len(ids))
+	for i, id := range ids {
+		mols[i] = chem.FromID(id)
+	}
+	return e.DockBatch(mols)
+}

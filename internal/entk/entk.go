@@ -1,0 +1,182 @@
+// Package entk reimplements the Ensemble Toolkit (EnTK) programming
+// system the paper codifies its campaign in (§5.2.1, §6.1): the PST
+// (Pipeline, Stage, Task) model.
+//
+//   - Tasks without mutual ordering constraints group into a Stage and
+//     run concurrently (arbitrary stage sizing / variable concurrency);
+//   - Stages order execution within a Pipeline (a stage starts only when
+//     its predecessor completed — the priority relation);
+//   - Pipelines execute concurrently and asynchronously, each progressing
+//     at its own pace;
+//   - post-stage callbacks may append further stages, which is how the
+//     paper's adaptive methods (§5.2.1: runtime parameter selection,
+//     iterative S2↔S3 loops) are expressed.
+//
+// AppManager executes pipelines over a pilot, mapping every PST task to a
+// pilot.Task.
+package entk
+
+import (
+	"fmt"
+	"sync"
+
+	"impeccable/internal/pilot"
+)
+
+// Task is a PST task: a stand-alone process with defined inputs, outputs
+// and resource requirements (§5.2.1). It wraps the pilot task description.
+type Task struct {
+	Name      string
+	Cores     int
+	GPUs      int
+	Nodes     int
+	Duration  float64 // modeled duration (simulation executor)
+	Fn        func()  // real work (real executor)
+	Flops     int64
+	Component string
+
+	// filled at runtime
+	PilotTask *pilot.Task
+}
+
+// Stage is a set of tasks with no reciprocal priority relation; they may
+// execute concurrently.
+type Stage struct {
+	Name  string
+	Tasks []*Task
+	// PostExec runs after every task in the stage completed; it may
+	// mutate the owning pipeline (append stages) — the EnTK adaptivity
+	// hook.
+	PostExec func(p *Pipeline)
+}
+
+// AddTask appends a task and returns the stage for chaining.
+func (s *Stage) AddTask(t *Task) *Stage {
+	s.Tasks = append(s.Tasks, t)
+	return s
+}
+
+// Pipeline is an ordered sequence of stages.
+type Pipeline struct {
+	Name   string
+	Stages []*Stage
+
+	mu   sync.Mutex
+	next int // index of the next stage to run
+}
+
+// AddStage appends a stage (safe to call from PostExec).
+func (p *Pipeline) AddStage(s *Stage) *Pipeline {
+	p.mu.Lock()
+	p.Stages = append(p.Stages, s)
+	p.mu.Unlock()
+	return p
+}
+
+// NewPipeline creates a named pipeline.
+func NewPipeline(name string) *Pipeline { return &Pipeline{Name: name} }
+
+// NewStage creates a named stage.
+func NewStage(name string) *Stage { return &Stage{Name: name} }
+
+// AppManager executes pipelines over a pilot (the EnTK execution backend
+// is RADICAL-Pilot, §5.2.2).
+type AppManager struct {
+	Pilot *pilot.Pilot
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inFlight int
+	taskSeq  uint64
+}
+
+// NewAppManager builds an application manager over the pilot.
+func NewAppManager(pl *pilot.Pilot) *AppManager {
+	am := &AppManager{Pilot: pl}
+	am.cond = sync.NewCond(&am.mu)
+	return am
+}
+
+// Run submits all pipelines for concurrent execution. Each pipeline's
+// stages run sequentially; separate pipelines interleave freely on the
+// pilot. Run returns immediately; use Wait (real clock) or drive the
+// SimClock then Wait (simulated).
+func (am *AppManager) Run(pipelines ...*Pipeline) {
+	am.mu.Lock()
+	am.inFlight += len(pipelines)
+	am.mu.Unlock()
+	for _, p := range pipelines {
+		am.advance(p)
+	}
+}
+
+// advance launches pipeline p's next stage, or retires the pipeline when
+// no stages remain.
+func (am *AppManager) advance(p *Pipeline) {
+	p.mu.Lock()
+	if p.next >= len(p.Stages) {
+		p.mu.Unlock()
+		am.mu.Lock()
+		am.inFlight--
+		am.cond.Broadcast()
+		am.mu.Unlock()
+		return
+	}
+	stage := p.Stages[p.next]
+	p.next++
+	p.mu.Unlock()
+
+	if len(stage.Tasks) == 0 {
+		am.finishStage(p, stage)
+		return
+	}
+	pending := int64(len(stage.Tasks))
+	var mu sync.Mutex
+	for _, t := range stage.Tasks {
+		pt := &pilot.Task{
+			Name:      fmt.Sprintf("%s/%s/%s", p.Name, stage.Name, t.Name),
+			Cores:     t.Cores,
+			GPUs:      t.GPUs,
+			Nodes:     t.Nodes,
+			Duration:  t.Duration,
+			Fn:        t.Fn,
+			Flops:     t.Flops,
+			Component: t.Component,
+		}
+		t.PilotTask = pt
+		pt.OnDone = func(*pilot.Task) {
+			mu.Lock()
+			pending--
+			last := pending == 0
+			mu.Unlock()
+			if last {
+				am.finishStage(p, stage)
+			}
+		}
+		am.Pilot.Submit(pt)
+	}
+}
+
+// finishStage runs the stage's adaptivity hook and advances the pipeline.
+func (am *AppManager) finishStage(p *Pipeline, s *Stage) {
+	if s.PostExec != nil {
+		s.PostExec(p)
+	}
+	am.advance(p)
+}
+
+// Wait blocks until every submitted pipeline has retired.
+func (am *AppManager) Wait() {
+	am.mu.Lock()
+	for am.inFlight > 0 {
+		am.cond.Wait()
+	}
+	am.mu.Unlock()
+}
+
+// Idle reports whether all pipelines have retired.
+func (am *AppManager) Idle() bool {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.inFlight == 0
+}

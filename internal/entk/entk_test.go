@@ -1,0 +1,255 @@
+package entk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"impeccable/internal/hpc"
+	"impeccable/internal/pilot"
+)
+
+func simSetup(nodes int) (*AppManager, *hpc.SimClock, *pilot.Pilot) {
+	clk := hpc.NewSimClock()
+	pl := pilot.NewPilot(hpc.Summit().WithNodes(nodes), clk, &pilot.SimExecutor{Clock: clk})
+	return NewAppManager(pl), clk, pl
+}
+
+func TestStagesRunSequentially(t *testing.T) {
+	am, clk, _ := simSetup(4)
+	p := NewPipeline("p")
+	s1 := NewStage("s1")
+	s1.AddTask(&Task{Name: "a", Cores: 1, Duration: 10})
+	s1.AddTask(&Task{Name: "b", Cores: 1, Duration: 5})
+	s2 := NewStage("s2")
+	s2.AddTask(&Task{Name: "c", Cores: 1, Duration: 3})
+	p.AddStage(s1).AddStage(s2)
+	am.Run(p)
+	clk.Run()
+	if !am.Idle() {
+		t.Fatal("pipelines not retired")
+	}
+	c := s2.Tasks[0].PilotTask
+	// Stage 2 starts only after the longest stage-1 task (10 s).
+	if c.StartTime != 10 {
+		t.Fatalf("stage-2 start = %v, want 10", c.StartTime)
+	}
+	if clk.Now() != 13 {
+		t.Fatalf("makespan = %v", clk.Now())
+	}
+}
+
+func TestTasksWithinStageConcurrent(t *testing.T) {
+	am, clk, _ := simSetup(4)
+	p := NewPipeline("p")
+	s := NewStage("s")
+	for i := 0; i < 4; i++ {
+		s.AddTask(&Task{Name: "t", Cores: 42, GPUs: 6, Nodes: 1, Duration: 10})
+	}
+	p.AddStage(s)
+	am.Run(p)
+	clk.Run()
+	if clk.Now() != 10 {
+		t.Fatalf("4 node-tasks on 4 nodes should take 10 s, took %v", clk.Now())
+	}
+}
+
+func TestPipelinesProgressIndependently(t *testing.T) {
+	// §5.2.1: asynchronous execution of concurrent pipelines — a slow
+	// pipeline must not block a fast one.
+	am, clk, _ := simSetup(2)
+	slow := NewPipeline("slow")
+	slow.AddStage(NewStage("s").AddTask(&Task{Name: "x", Cores: 1, Duration: 100}))
+	fast := NewPipeline("fast")
+	fastTasks := make([]*Task, 3)
+	for i := range fastTasks {
+		fastTasks[i] = &Task{Name: "y", Cores: 1, Duration: 1}
+		fast.AddStage(NewStage("s").AddTask(fastTasks[i]))
+	}
+	am.Run(slow, fast)
+	clk.Run()
+	// Fast pipeline's last stage ends at t=3, far before 100.
+	if end := fastTasks[2].PilotTask.EndTime; end != 3 {
+		t.Fatalf("fast pipeline finished at %v, want 3", end)
+	}
+	if clk.Now() != 100 {
+		t.Fatalf("makespan = %v", clk.Now())
+	}
+}
+
+func TestPostExecAdaptivity(t *testing.T) {
+	// The EnTK adaptivity hook: a stage's PostExec appends another stage
+	// (the paper's iterative S2↔S3-FG feedback loop shape).
+	am, clk, _ := simSetup(2)
+	p := NewPipeline("adaptive")
+	var iterations atomic.Int64
+	var addStage func(pl *Pipeline)
+	addStage = func(pl *Pipeline) {
+		if iterations.Add(1) >= 3 {
+			return
+		}
+		s := NewStage("iter")
+		s.AddTask(&Task{Name: "work", Cores: 1, Duration: 5})
+		s.PostExec = addStage
+		pl.AddStage(s)
+	}
+	first := NewStage("seed")
+	first.AddTask(&Task{Name: "work", Cores: 1, Duration: 5})
+	first.PostExec = addStage
+	p.AddStage(first)
+	am.Run(p)
+	clk.Run()
+	if got := iterations.Load(); got != 3 {
+		t.Fatalf("iterations = %d, want 3", got)
+	}
+	if clk.Now() != 15 {
+		t.Fatalf("adaptive makespan = %v, want 15", clk.Now())
+	}
+}
+
+func TestEmptyStageSkipped(t *testing.T) {
+	am, clk, _ := simSetup(1)
+	p := NewPipeline("p")
+	p.AddStage(NewStage("empty"))
+	p.AddStage(NewStage("real").AddTask(&Task{Name: "t", Cores: 1, Duration: 2}))
+	am.Run(p)
+	clk.Run()
+	if !am.Idle() || clk.Now() != 2 {
+		t.Fatalf("empty-stage handling broken: idle=%v now=%v", am.Idle(), clk.Now())
+	}
+}
+
+func TestEmptyPipelineRetires(t *testing.T) {
+	am, clk, _ := simSetup(1)
+	am.Run(NewPipeline("empty"))
+	clk.Run()
+	if !am.Idle() {
+		t.Fatal("empty pipeline did not retire")
+	}
+}
+
+func TestHeterogeneousStage(t *testing.T) {
+	// §7.2: single-GPU tasks execute alongside MPI multi-node and CPU
+	// tasks in distinct stages of concurrent pipelines.
+	am, clk, pl := simSetup(4)
+	p1 := NewPipeline("md")
+	p1.AddStage(NewStage("sim").
+		AddTask(&Task{Name: "openmm", Cores: 1, GPUs: 1, Duration: 20}).
+		AddTask(&Task{Name: "openmm", Cores: 1, GPUs: 1, Duration: 20}))
+	p2 := NewPipeline("train")
+	p2.AddStage(NewStage("ddp").
+		AddTask(&Task{Name: "torch-ddp", Cores: 42, GPUs: 6, Nodes: 2, Duration: 30}))
+	p3 := NewPipeline("agg")
+	p3.AddStage(NewStage("cpu").
+		AddTask(&Task{Name: "aggregate", Cores: 20, Duration: 10}))
+	am.Run(p1, p2, p3)
+	clk.Run()
+	if clk.Now() != 30 {
+		t.Fatalf("heterogeneous makespan = %v, want 30", clk.Now())
+	}
+	if len(pl.Executed()) != 4 {
+		t.Fatalf("executed = %d", len(pl.Executed()))
+	}
+}
+
+func TestRealClockExecution(t *testing.T) {
+	clk := hpc.NewRealClock()
+	pl := pilot.NewPilot(hpc.Summit().WithNodes(2), clk, &pilot.RealExecutor{})
+	am := NewAppManager(pl)
+	var mu sync.Mutex
+	var order []string
+	p := NewPipeline("p")
+	s1 := NewStage("s1")
+	for i := 0; i < 3; i++ {
+		s1.AddTask(&Task{Name: "a", Cores: 1, Fn: func() {
+			mu.Lock()
+			order = append(order, "s1")
+			mu.Unlock()
+		}})
+	}
+	s2 := NewStage("s2").AddTask(&Task{Name: "b", Cores: 1, Fn: func() {
+		mu.Lock()
+		order = append(order, "s2")
+		mu.Unlock()
+	}})
+	p.AddStage(s1).AddStage(s2)
+	am.Run(p)
+	am.Wait()
+	if len(order) != 4 || order[3] != "s2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestManyConcurrentPipelines(t *testing.T) {
+	// Stress: 50 pipelines × 3 stages × 4 tasks on a small pilot.
+	am, clk, pl := simSetup(8)
+	pipes := make([]*Pipeline, 50)
+	for i := range pipes {
+		p := NewPipeline("p")
+		for s := 0; s < 3; s++ {
+			st := NewStage("s")
+			for k := 0; k < 4; k++ {
+				st.AddTask(&Task{Name: "t", Cores: 4, GPUs: 1, Duration: 1})
+			}
+			p.AddStage(st)
+		}
+		pipes[i] = p
+	}
+	am.Run(pipes...)
+	clk.Run()
+	if !am.Idle() {
+		t.Fatal("pipelines stuck")
+	}
+	if got := len(pl.Executed()); got != 50*3*4 {
+		t.Fatalf("executed = %d", got)
+	}
+	if pl.Oversubscribed() {
+		t.Fatal("oversubscription under pipeline load")
+	}
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		am, clk, _ := simSetup(16)
+		pipes := make([]*Pipeline, 20)
+		for j := range pipes {
+			p := NewPipeline("p")
+			for s := 0; s < 3; s++ {
+				st := NewStage("s")
+				for k := 0; k < 8; k++ {
+					st.AddTask(&Task{Cores: 4, GPUs: 1, Duration: 1})
+				}
+				p.AddStage(st)
+			}
+			pipes[j] = p
+		}
+		am.Run(pipes...)
+		clk.Run()
+	}
+}
+
+func TestFailingTaskDoesNotWedgePipeline(t *testing.T) {
+	// A task that panics must fail in isolation; the stage still
+	// completes and the pipeline advances (EnTK's per-task isolation).
+	clk := hpc.NewRealClock()
+	pl := pilot.NewPilot(hpc.Summit().WithNodes(1), clk, &pilot.RealExecutor{})
+	am := NewAppManager(pl)
+	var after atomic.Int64
+	p := NewPipeline("p")
+	s1 := NewStage("s1").
+		AddTask(&Task{Name: "boom", Cores: 1, Fn: func() { panic("x") }}).
+		AddTask(&Task{Name: "ok", Cores: 1, Fn: func() {}})
+	s2 := NewStage("s2").AddTask(&Task{Name: "after", Cores: 1, Fn: func() { after.Add(1) }})
+	p.AddStage(s1).AddStage(s2)
+	am.Run(p)
+	am.Wait()
+	if after.Load() != 1 {
+		t.Fatal("pipeline did not advance past a failing task")
+	}
+	if s1.Tasks[0].PilotTask.State != pilot.Failed {
+		t.Fatalf("failing task state = %v", s1.Tasks[0].PilotTask.State)
+	}
+	if s1.Tasks[0].PilotTask.Err == nil {
+		t.Fatal("panic not recorded")
+	}
+}

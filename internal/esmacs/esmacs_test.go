@@ -1,0 +1,209 @@
+package esmacs
+
+import (
+	"math"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+	"impeccable/internal/xrand"
+)
+
+// fastCG returns a heavily shortened CG protocol for unit tests.
+func fastCG() Protocol {
+	p := CG()
+	p.EquilSteps = 50
+	p.ProdSteps = 200
+	p.SampleEach = 20
+	p.MinimizeIters = 30
+	return p
+}
+
+func TestProtocolDefinitions(t *testing.T) {
+	cg, fg := CG(), FG()
+	if cg.Replicas != 6 || fg.Replicas != 24 {
+		t.Fatalf("replica counts: CG %d, FG %d", cg.Replicas, fg.Replicas)
+	}
+	if cg.EquilSteps != 1*StepsPerNs || fg.EquilSteps != 2*StepsPerNs {
+		t.Fatal("equilibration durations wrong")
+	}
+	if cg.ProdSteps != 4*StepsPerNs || fg.ProdSteps != 10*StepsPerNs {
+		t.Fatal("production durations wrong")
+	}
+	// Table 2: FG ≈ 10× CG cost. Steps: CG 6*(1+4) = 30 ns-replicas,
+	// FG 24*(2+10) = 288: ratio 9.6.
+	cgCost := cg.Replicas * (cg.EquilSteps + cg.ProdSteps)
+	fgCost := fg.Replicas * (fg.EquilSteps + fg.ProdSteps)
+	ratio := float64(fgCost) / float64(cgCost)
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("FG/CG cost ratio = %v, want ≈10", ratio)
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	r := NewRunner(receptor.PLPro(), 1)
+	m := chem.FromID(5)
+	est := r.Estimate(m, nil, fastCG())
+	if est.MolID != m.ID || est.Protocol != "ESMACS-CG" {
+		t.Fatalf("identity fields wrong: %+v", est)
+	}
+	if len(est.ReplicaDGs) != 6 {
+		t.Fatalf("replica count = %d", len(est.ReplicaDGs))
+	}
+	if math.IsNaN(est.DeltaG) || math.IsInf(est.DeltaG, 0) {
+		t.Fatalf("DeltaG = %v", est.DeltaG)
+	}
+	if est.StdErr < 0 {
+		t.Fatalf("StdErr = %v", est.StdErr)
+	}
+	if est.Steps != int64(6*(50+200)) {
+		t.Fatalf("steps = %d", est.Steps)
+	}
+	if est.Flops <= 0 {
+		t.Fatal("flops accounting missing")
+	}
+	if est.Trajs != nil {
+		t.Fatal("trajectories retained without KeepTrajectories")
+	}
+}
+
+func TestKeepTrajectories(t *testing.T) {
+	r := NewRunner(receptor.PLPro(), 1)
+	r.KeepTrajectories = true
+	est := r.Estimate(chem.FromID(5), nil, fastCG())
+	if len(est.Trajs) != 6 {
+		t.Fatalf("trajectories = %d", len(est.Trajs))
+	}
+	for _, tr := range est.Trajs {
+		if len(tr.Frames) == 0 {
+			t.Fatal("empty trajectory retained")
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	m := chem.FromID(7)
+	a := NewRunner(receptor.PLPro(), 3).Estimate(m, nil, fastCG())
+	b := NewRunner(receptor.PLPro(), 3).Estimate(m, nil, fastCG())
+	if a.DeltaG != b.DeltaG {
+		t.Fatalf("not deterministic: %v vs %v", a.DeltaG, b.DeltaG)
+	}
+	// Parallelism must not change results.
+	c := NewRunner(receptor.PLPro(), 3)
+	c.Workers = 1
+	if got := c.Estimate(m, nil, fastCG()); got.DeltaG != a.DeltaG {
+		t.Fatalf("worker count changed result: %v vs %v", got.DeltaG, a.DeltaG)
+	}
+}
+
+func TestEnsembleTightensVariance(t *testing.T) {
+	// §5.1.3: single-trajectory MMPBSA is highly variable; the 6-replica
+	// ensemble mean is substantially more reproducible. Compare the
+	// spread of repeated estimates under different seeds.
+	m := chem.FromID(11)
+	tg := receptor.PLPro()
+	single := fastCG()
+	single.Replicas = 1
+	ensemble := fastCG()
+
+	var singles, ensembles []float64
+	for seed := uint64(0); seed < 8; seed++ {
+		singles = append(singles, NewRunner(tg, seed).Estimate(m, nil, single).DeltaG)
+		ensembles = append(ensembles, NewRunner(tg, seed).Estimate(m, nil, ensemble).DeltaG)
+	}
+	sdS := stddev(singles)
+	sdE := stddev(ensembles)
+	if sdE >= sdS {
+		t.Fatalf("ensemble spread %v not below single-trajectory spread %v", sdE, sdS)
+	}
+	t.Logf("single-replica sd %.3f, 6-replica ensemble sd %.3f", sdS, sdE)
+}
+
+func stddev(x []float64) float64 {
+	var s, ss float64
+	for _, v := range x {
+		s += v
+		ss += v * v
+	}
+	n := float64(len(x))
+	return math.Sqrt(ss/n - (s/n)*(s/n))
+}
+
+func TestDeltaGRangeMatchesPaperScale(t *testing.T) {
+	// Fig. 5A: CG-ESMACS values lie roughly in [-60, +20] kcal/mol.
+	r := NewRunner(receptor.PLPro(), 13)
+	rng := xrand.New(2)
+	proto := fastCG()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 12; i++ {
+		est := r.Estimate(chem.FromID(rng.Uint64()), nil, proto)
+		lo = math.Min(lo, est.DeltaG)
+		hi = math.Max(hi, est.DeltaG)
+	}
+	if lo < -100 || hi > 60 {
+		t.Fatalf("ΔG range [%v, %v] far outside the paper's scale", lo, hi)
+	}
+	if lo > 0 {
+		t.Fatalf("no negative (binding) estimates at all: min %v", lo)
+	}
+}
+
+func TestRankingBeatsDocking(t *testing.T) {
+	// The accuracy ladder (Table 2): ESMACS ranking should correlate
+	// with ground truth at least as well as cheap docking does. Here we
+	// just require a solid positive correlation.
+	tg := receptor.PLPro()
+	r := NewRunner(tg, 17)
+	rng := xrand.New(3)
+	proto := fastCG()
+	var truths, ests []float64
+	for i := 0; i < 16; i++ {
+		m := chem.FromID(rng.Uint64())
+		truths = append(truths, tg.TrueAffinity(m))
+		ests = append(ests, r.Estimate(m, nil, proto).DeltaG)
+	}
+	c := pearson(truths, ests)
+	if c < 0.3 {
+		t.Fatalf("truth/ESMACS correlation = %v, want >= 0.3", c)
+	}
+	t.Logf("truth/ESMACS-CG correlation = %.3f", c)
+}
+
+func pearson(a, b []float64) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(a))
+	for i := range a {
+		sx += a[i]
+		sy += b[i]
+		sxx += a[i] * a[i]
+		syy += b[i] * b[i]
+		sxy += a[i] * b[i]
+	}
+	return (sxy/n - sx/n*sy/n) / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+}
+
+func TestNodeHoursCalibration(t *testing.T) {
+	// One CG ligand = 6 replicas × 5 ns must cost exactly 0.5 node-hours
+	// (Table 2).
+	cg := CG()
+	steps := int64(cg.Replicas * (cg.EquilSteps + cg.ProdSteps))
+	if got := NodeHours(steps); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CG NodeHours = %v, want 0.5", got)
+	}
+	// FG ≈ 5 node-hours (Table 2 row 4): 24 × 12 ns / (6 × 5 ns) × 0.5 = 4.8.
+	fg := FG()
+	fgSteps := int64(fg.Replicas * (fg.EquilSteps + fg.ProdSteps))
+	if got := NodeHours(fgSteps); math.Abs(got-4.8) > 0.3 {
+		t.Fatalf("FG NodeHours = %v, want ≈5", got)
+	}
+}
+
+func BenchmarkEstimateCGFast(b *testing.B) {
+	r := NewRunner(receptor.PLPro(), 1)
+	m := chem.FromID(1)
+	proto := fastCG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Estimate(m, nil, proto)
+	}
+}

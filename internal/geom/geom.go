@@ -1,0 +1,320 @@
+// Package geom provides the small dense 3-D linear algebra used by the
+// docking engine, the molecular-dynamics substrate and the 3D-AAE point
+// cloud models: vectors, quaternions, rigid transforms and RMSD with
+// optimal superposition.
+package geom
+
+import "math"
+
+// Vec3 is a 3-D vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Unit returns v normalized to length 1; the zero vector maps to (1,0,0)
+// so callers never receive NaN axes.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{1, 0, 0}
+	}
+	return v.Scale(1 / n)
+}
+
+// Quat is a rotation quaternion (W scalar part, X/Y/Z vector part).
+type Quat struct{ W, X, Y, Z float64 }
+
+// IdentityQuat returns the identity rotation.
+func IdentityQuat() Quat { return Quat{W: 1} }
+
+// AxisAngle builds a quaternion rotating by angle (radians) about axis.
+func AxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Unit()
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// Mul composes rotations: (q.Mul(p)).Rotate(v) == q.Rotate(p.Rotate(v)).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Normalize returns q scaled to unit norm; a zero quaternion maps to the
+// identity rotation.
+func (q Quat) Normalize() Quat {
+	n := math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+	if n == 0 {
+		return IdentityQuat()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Conj returns the conjugate (inverse rotation for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Rotate applies the rotation q to v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q^-1, expanded.
+	u := Vec3{q.X, q.Y, q.Z}
+	uv := u.Cross(v)
+	uuv := u.Cross(uv)
+	return v.Add(uv.Scale(2 * q.W)).Add(uuv.Scale(2))
+}
+
+// RotateAbout rotates point p by angle about the axis through origin o with
+// direction axis.
+func RotateAbout(p, o, axis Vec3, angle float64) Vec3 {
+	q := AxisAngle(axis, angle)
+	return q.Rotate(p.Sub(o)).Add(o)
+}
+
+// Centroid returns the mean of the points; it returns the zero vector for
+// an empty slice.
+func Centroid(pts []Vec3) Vec3 {
+	var c Vec3
+	if len(pts) == 0 {
+		return c
+	}
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// RMSD returns the root-mean-square deviation between two equal-length
+// point sets without superposition. It panics if the lengths differ.
+func RMSD(a, b []Vec3) float64 {
+	if len(a) != len(b) {
+		panic("geom: RMSD length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += a[i].Dist2(b[i])
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// AlignedRMSD returns the RMSD of a onto b after removing the translation
+// between their centroids and optimally rotating with the Kabsch algorithm.
+func AlignedRMSD(a, b []Vec3) float64 {
+	if len(a) != len(b) {
+		panic("geom: AlignedRMSD length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ca, cb := Centroid(a), Centroid(b)
+	ac := make([]Vec3, len(a))
+	bc := make([]Vec3, len(b))
+	for i := range a {
+		ac[i] = a[i].Sub(ca)
+		bc[i] = b[i].Sub(cb)
+	}
+	r := Kabsch(ac, bc)
+	var s float64
+	for i := range ac {
+		s += r.Apply(ac[i]).Dist2(bc[i])
+	}
+	return math.Sqrt(s / float64(len(ac)))
+}
+
+// Mat3 is a 3×3 matrix in row-major order.
+type Mat3 [3][3]float64
+
+// Apply returns M·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// MulM returns the matrix product m·n.
+func (m Mat3) MulM(n Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				out[i][j] += m[i][k] * n[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m Mat3) Transpose() Mat3 {
+	var t Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			t[i][j] = m[j][i]
+		}
+	}
+	return t
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// Kabsch computes the optimal rotation matrix aligning centered point set a
+// onto centered point set b (both must already have zero centroid). The
+// rotation is found from the SVD of the covariance matrix, computed here via
+// Jacobi eigendecomposition of AᵀA, with the usual determinant correction to
+// exclude reflections.
+func Kabsch(a, b []Vec3) Mat3 {
+	// Covariance H = Σ a_i b_iᵀ.
+	var h Mat3
+	for i := range a {
+		av := [3]float64{a[i].X, a[i].Y, a[i].Z}
+		bv := [3]float64{b[i].X, b[i].Y, b[i].Z}
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				h[r][c] += av[r] * bv[c]
+			}
+		}
+	}
+	u, s, v := svd3(h)
+	_ = s
+	// R = V diag(1,1,d) Uᵀ where d = sign(det(V Uᵀ)).
+	d := v.MulM(u.Transpose()).Det()
+	corr := Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, sign(d)}}
+	return v.MulM(corr).MulM(u.Transpose())
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// svd3 computes a singular value decomposition H = U·diag(S)·Vᵀ of a 3×3
+// matrix via Jacobi eigendecomposition of HᵀH (V, S²) followed by
+// reconstruction of U.
+func svd3(h Mat3) (u Mat3, s [3]float64, v Mat3) {
+	hth := h.Transpose().MulM(h)
+	eval, evec := jacobiEigen3(hth)
+	// Sort eigenpairs descending.
+	order := [3]int{0, 1, 2}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if eval[order[j]] > eval[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for c := 0; c < 3; c++ {
+		k := order[c]
+		s[c] = math.Sqrt(math.Max(eval[k], 0))
+		for r := 0; r < 3; r++ {
+			v[r][c] = evec[r][k]
+		}
+	}
+	// U columns: u_c = H v_c / s_c; degenerate columns completed by
+	// Gram-Schmidt against previous columns.
+	for c := 0; c < 3; c++ {
+		col := h.Apply(Vec3{v[0][c], v[1][c], v[2][c]})
+		if s[c] > 1e-12 {
+			col = col.Scale(1 / s[c])
+		} else {
+			col = orthoComplement(u, c)
+		}
+		u[0][c], u[1][c], u[2][c] = col.X, col.Y, col.Z
+	}
+	return u, s, v
+}
+
+// orthoComplement returns a unit vector orthogonal to the first c columns
+// of m.
+func orthoComplement(m Mat3, c int) Vec3 {
+	basis := []Vec3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for _, cand := range basis {
+		w := cand
+		for k := 0; k < c; k++ {
+			col := Vec3{m[0][k], m[1][k], m[2][k]}
+			w = w.Sub(col.Scale(w.Dot(col)))
+		}
+		if w.Norm() > 1e-6 {
+			return w.Unit()
+		}
+	}
+	return Vec3{1, 0, 0}
+}
+
+// jacobiEigen3 diagonalizes a symmetric 3×3 matrix, returning eigenvalues
+// and the matrix whose columns are the corresponding eigenvectors.
+func jacobiEigen3(a Mat3) (eval [3]float64, evec Mat3) {
+	evec = Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for sweep := 0; sweep < 50; sweep++ {
+		// Largest off-diagonal element.
+		p, q := 0, 1
+		if math.Abs(a[0][2]) > math.Abs(a[p][q]) {
+			p, q = 0, 2
+		}
+		if math.Abs(a[1][2]) > math.Abs(a[p][q]) {
+			p, q = 1, 2
+		}
+		if math.Abs(a[p][q]) < 1e-14 {
+			break
+		}
+		// Jacobi rotation zeroing a[p][q].
+		theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+		t := sign(theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+		c := 1 / math.Sqrt(t*t+1)
+		s := t * c
+		var r Mat3
+		for i := 0; i < 3; i++ {
+			r[i][i] = 1
+		}
+		r[p][p], r[q][q] = c, c
+		r[p][q], r[q][p] = s, -s
+		a = r.Transpose().MulM(a).MulM(r)
+		evec = evec.MulM(r)
+	}
+	eval = [3]float64{a[0][0], a[1][1], a[2][2]}
+	return eval, evec
+}

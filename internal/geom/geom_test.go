@@ -1,0 +1,238 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"impeccable/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		return almost(c.Dot(a), 0, 1e-6) && almost(c.Dot(b), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}
+
+func TestUnitZeroVector(t *testing.T) {
+	if got := (Vec3{}).Unit(); got != (Vec3{1, 0, 0}) {
+		t.Fatalf("zero Unit = %v", got)
+	}
+}
+
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	r := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		axis := Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		q := AxisAngle(axis, r.Range(-6, 6))
+		v := Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		if !almost(q.Rotate(v).Norm(), v.Norm(), 1e-9) {
+			t.Fatalf("rotation changed norm: %v vs %v", q.Rotate(v).Norm(), v.Norm())
+		}
+	}
+}
+
+func TestQuatComposition(t *testing.T) {
+	r := xrand.New(2)
+	for i := 0; i < 100; i++ {
+		q1 := AxisAngle(Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}, r.Range(-3, 3))
+		q2 := AxisAngle(Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}, r.Range(-3, 3))
+		v := Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		lhs := q1.Mul(q2).Rotate(v)
+		rhs := q1.Rotate(q2.Rotate(v))
+		if lhs.Dist(rhs) > 1e-9 {
+			t.Fatalf("composition mismatch: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	q := AxisAngle(Vec3{1, 2, 3}, 1.1)
+	v := Vec3{0.4, -0.2, 0.9}
+	back := q.Conj().Rotate(q.Rotate(v))
+	if back.Dist(v) > 1e-12 {
+		t.Fatalf("conj did not invert rotation: %v", back)
+	}
+}
+
+func TestAxisAngle90(t *testing.T) {
+	q := AxisAngle(Vec3{0, 0, 1}, math.Pi/2)
+	got := q.Rotate(Vec3{1, 0, 0})
+	if got.Dist(Vec3{0, 1, 0}) > 1e-12 {
+		t.Fatalf("90° z-rotation of x̂ = %v", got)
+	}
+}
+
+func TestRotateAbout(t *testing.T) {
+	// Rotate (2,0,0) about axis z through (1,0,0) by 180°: -> (0,0,0).
+	got := RotateAbout(Vec3{2, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 0, 1}, math.Pi)
+	if got.Dist(Vec3{0, 0, 0}) > 1e-12 {
+		t.Fatalf("RotateAbout = %v", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Vec3{{0, 0, 0}, {2, 4, 6}}
+	if got := Centroid(pts); got != (Vec3{1, 2, 3}) {
+		t.Fatalf("Centroid = %v", got)
+	}
+	if got := Centroid(nil); got != (Vec3{}) {
+		t.Fatalf("empty Centroid = %v", got)
+	}
+}
+
+func TestRMSDZeroForIdentical(t *testing.T) {
+	pts := []Vec3{{1, 2, 3}, {4, 5, 6}, {-1, 0, 2}}
+	if got := RMSD(pts, pts); got != 0 {
+		t.Fatalf("RMSD(x,x) = %v", got)
+	}
+}
+
+func TestRMSDKnown(t *testing.T) {
+	a := []Vec3{{0, 0, 0}, {0, 0, 0}}
+	b := []Vec3{{1, 0, 0}, {0, 1, 0}}
+	if got := RMSD(a, b); !almost(got, 1, 1e-12) {
+		t.Fatalf("RMSD = %v, want 1", got)
+	}
+}
+
+func TestAlignedRMSDInvariantToRigidMotion(t *testing.T) {
+	r := xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + r.Intn(20)
+		a := make([]Vec3, n)
+		for i := range a {
+			a[i] = Vec3{r.Norm(0, 3), r.Norm(0, 3), r.Norm(0, 3)}
+		}
+		q := AxisAngle(Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}, r.Range(-3, 3))
+		shift := Vec3{r.Norm(0, 10), r.Norm(0, 10), r.Norm(0, 10)}
+		b := make([]Vec3, n)
+		for i := range b {
+			b[i] = q.Rotate(a[i]).Add(shift)
+		}
+		if got := AlignedRMSD(a, b); got > 1e-6 {
+			t.Fatalf("trial %d: aligned RMSD of rigid copy = %v", trial, got)
+		}
+	}
+}
+
+func TestAlignedRMSDDetectsDeformation(t *testing.T) {
+	a := []Vec3{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	b := []Vec3{{0, 0, 0}, {3, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if got := AlignedRMSD(a, b); got < 0.1 {
+		t.Fatalf("deformation not detected, RMSD = %v", got)
+	}
+}
+
+func TestKabschNoReflection(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(10)
+		a := make([]Vec3, n)
+		b := make([]Vec3, n)
+		for i := range a {
+			a[i] = Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+			b[i] = Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		}
+		ca, cb := Centroid(a), Centroid(b)
+		for i := range a {
+			a[i] = a[i].Sub(ca)
+			b[i] = b[i].Sub(cb)
+		}
+		rot := Kabsch(a, b)
+		if d := rot.Det(); !almost(d, 1, 1e-6) {
+			t.Fatalf("Kabsch produced non-rotation with det %v", d)
+		}
+	}
+}
+
+func TestMat3Ops(t *testing.T) {
+	id := Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	m := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}
+	if got := m.MulM(id); got != m {
+		t.Fatalf("M·I = %v", got)
+	}
+	if got := m.Det(); !almost(got, -3, 1e-12) {
+		t.Fatalf("Det = %v, want -3", got)
+	}
+	v := Vec3{1, 1, 1}
+	if got := id.Apply(v); got != v {
+		t.Fatalf("I·v = %v", got)
+	}
+}
+
+func TestJacobiEigenSymmetric(t *testing.T) {
+	// Known: diag(1,2,3) rotated is still spectrum {1,2,3}.
+	a := Mat3{{2, 1, 0}, {1, 2, 0}, {0, 0, 5}}
+	eval, evec := jacobiEigen3(a)
+	// Eigenvalues of the 2x2 block are 1 and 3; third is 5.
+	got := []float64{eval[0], eval[1], eval[2]}
+	sum := got[0] + got[1] + got[2]
+	if !almost(sum, 9, 1e-9) {
+		t.Fatalf("eigenvalue sum = %v, want 9 (trace)", sum)
+	}
+	// Verify A·v = λ·v for each eigenpair.
+	for k := 0; k < 3; k++ {
+		v := Vec3{evec[0][k], evec[1][k], evec[2][k]}
+		av := a.Apply(v)
+		if av.Dist(v.Scale(eval[k])) > 1e-8 {
+			t.Fatalf("eigenpair %d fails: Av=%v λv=%v", k, av, v.Scale(eval[k]))
+		}
+	}
+}
+
+func TestRMSDPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	RMSD([]Vec3{{}}, []Vec3{{}, {}})
+}
+
+func BenchmarkAlignedRMSD(b *testing.B) {
+	r := xrand.New(1)
+	n := 309 // PLPro Cα count from the paper
+	a := make([]Vec3, n)
+	c := make([]Vec3, n)
+	for i := range a {
+		a[i] = Vec3{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		c[i] = a[i].Add(Vec3{r.Norm(0, 0.1), r.Norm(0, 0.1), r.Norm(0, 0.1)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AlignedRMSD(a, c)
+	}
+}

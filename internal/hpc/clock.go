@@ -1,0 +1,154 @@
+// Package hpc models the leadership-class platforms of the campaign
+// (§7.2/§8: Summit, Frontera, Lassen, Theta, SuperMUC-NG): node/GPU
+// resource specifications, a virtual clock with a discrete-event mode for
+// at-scale runs, a batch system with queue latency, and the FLOP
+// accounting used by the Table 3 methodology.
+//
+// The workflow runtimes (pilot, entk, raptor) are written against the
+// Clock/Timer abstraction, so the same scheduler and load-balancer code
+// executes both in real time (laptop-scale runs where tasks are real Go
+// functions) and in simulated time (Summit-scale runs where task
+// durations come from the Table 2 cost model). That duality is how a
+// 4000-node, 40 M-docks/hour campaign reproduces on one machine.
+package hpc
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the workflow runtimes.
+type Clock interface {
+	// Now returns the current time in seconds since the clock epoch.
+	Now() float64
+	// After schedules fn to run at Now()+delay seconds. In the simulated
+	// clock fn runs synchronously from the event loop; in the real clock
+	// it runs on its own goroutine.
+	After(delay float64, fn func())
+}
+
+// RealClock is the wall-clock implementation.
+type RealClock struct{ epoch time.Time }
+
+// NewRealClock returns a wall clock with epoch = now.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+// After implements Clock.
+func (c *RealClock) After(delay float64, fn func()) {
+	if delay <= 0 {
+		go fn()
+		return
+	}
+	time.AfterFunc(time.Duration(delay*float64(time.Second)), fn)
+}
+
+// event is a scheduled simulation callback.
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SimClock is a single-threaded discrete-event simulation clock: events
+// execute in timestamp order, each possibly scheduling further events.
+// All workflow-runtime callbacks in simulation mode run on the goroutine
+// that calls Run, so runtime state needs no extra synchronization there —
+// but the implementation is still mutex-guarded so the same runtimes can
+// be driven concurrently in real mode.
+type SimClock struct {
+	mu  sync.Mutex
+	now float64
+	seq uint64
+	pq  eventHeap
+}
+
+// NewSimClock returns a simulation clock at time zero.
+func NewSimClock() *SimClock { return &SimClock{} }
+
+// Now implements Clock.
+func (c *SimClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock.
+func (c *SimClock) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.mu.Lock()
+	c.seq++
+	heap.Push(&c.pq, event{at: c.now + delay, seq: c.seq, fn: fn})
+	c.mu.Unlock()
+}
+
+// Step executes the next pending event, returning false when none remain.
+func (c *SimClock) Step() bool {
+	c.mu.Lock()
+	if len(c.pq) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&c.pq).(event)
+	c.now = e.at
+	c.mu.Unlock()
+	e.fn()
+	return true
+}
+
+// Run drains the event queue to quiescence and returns the final time.
+func (c *SimClock) Run() float64 {
+	for c.Step() {
+	}
+	return c.Now()
+}
+
+// RunUntil executes events up to (and including) time t, leaving later
+// events queued.
+func (c *SimClock) RunUntil(t float64) {
+	for {
+		c.mu.Lock()
+		if len(c.pq) == 0 || c.pq[0].at > t {
+			if c.now < t {
+				c.now = t
+			}
+			c.mu.Unlock()
+			return
+		}
+		e := heap.Pop(&c.pq).(event)
+		c.now = e.at
+		c.mu.Unlock()
+		e.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (c *SimClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pq)
+}

@@ -1,0 +1,84 @@
+package hpc
+
+import (
+	"sort"
+	"sync"
+)
+
+// FlopCounter aggregates floating-point-operation counts per named
+// component, following the Table 3 methodology: flops are counted per
+// representative work unit (an MD step, a training batch, a docked
+// ligand) and scaled by the work-set size; rates are flops divided by the
+// time a component's tasks spent, including pre/post overhead.
+type FlopCounter struct {
+	mu      sync.Mutex
+	flops   map[string]int64
+	seconds map[string]float64
+	units   map[string]int64 // work units processed (ligands, batches…)
+}
+
+// NewFlopCounter returns an empty counter.
+func NewFlopCounter() *FlopCounter {
+	return &FlopCounter{
+		flops:   map[string]int64{},
+		seconds: map[string]float64{},
+		units:   map[string]int64{},
+	}
+}
+
+// Add records flops, busy seconds and work units for a component.
+func (c *FlopCounter) Add(component string, flops int64, seconds float64, units int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flops[component] += flops
+	c.seconds[component] += seconds
+	c.units[component] += units
+}
+
+// ComponentStats summarizes one component.
+type ComponentStats struct {
+	Component string
+	Flops     int64
+	Seconds   float64
+	Units     int64
+	// Rate is flops/second (0 when no time recorded).
+	Rate float64
+	// Throughput is units/second (0 when no time recorded).
+	Throughput float64
+}
+
+// Stats returns per-component summaries sorted by component name.
+func (c *FlopCounter) Stats() []ComponentStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.flops))
+	for n := range c.flops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ComponentStats, 0, len(names))
+	for _, n := range names {
+		s := ComponentStats{
+			Component: n,
+			Flops:     c.flops[n],
+			Seconds:   c.seconds[n],
+			Units:     c.units[n],
+		}
+		if s.Seconds > 0 {
+			s.Rate = float64(s.Flops) / s.Seconds
+			s.Throughput = float64(s.Units) / s.Seconds
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns the stats for one component (zero value if absent).
+func (c *FlopCounter) Get(component string) ComponentStats {
+	for _, s := range c.Stats() {
+		if s.Component == component {
+			return s
+		}
+	}
+	return ComponentStats{Component: component}
+}

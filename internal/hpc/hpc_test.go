@@ -1,0 +1,226 @@
+package hpc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimClockOrdering(t *testing.T) {
+	c := NewSimClock()
+	var order []int
+	c.After(3, func() { order = append(order, 3) })
+	c.After(1, func() { order = append(order, 1) })
+	c.After(2, func() { order = append(order, 2) })
+	end := c.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+}
+
+func TestSimClockFIFOAtEqualTimes(t *testing.T) {
+	c := NewSimClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(5, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimClockCascade(t *testing.T) {
+	c := NewSimClock()
+	var hits int
+	var recurse func()
+	depth := 0
+	recurse = func() {
+		hits++
+		depth++
+		if depth < 100 {
+			c.After(1, recurse)
+		}
+	}
+	c.After(1, recurse)
+	end := c.Run()
+	if hits != 100 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if end != 100 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestSimClockNegativeDelayClamped(t *testing.T) {
+	c := NewSimClock()
+	c.After(5, func() {})
+	c.Step()
+	ran := false
+	c.After(-10, func() { ran = true })
+	c.Run()
+	if !ran {
+		t.Fatal("negative-delay event dropped")
+	}
+	if c.Now() != 5 {
+		t.Fatalf("time went backwards: %v", c.Now())
+	}
+}
+
+func TestSimClockRunUntil(t *testing.T) {
+	c := NewSimClock()
+	var hits []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		c.After(at, func() { hits = append(hits, at) })
+	}
+	c.RunUntil(3)
+	if len(hits) != 3 {
+		t.Fatalf("hits after RunUntil(3) = %v", hits)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+	if c.Now() != 3 {
+		t.Fatalf("now = %v", c.Now())
+	}
+	c.Run()
+	if len(hits) != 5 {
+		t.Fatalf("hits after Run = %v", hits)
+	}
+}
+
+func TestSimClockMonotone(t *testing.T) {
+	f := func(delays []float64) bool {
+		c := NewSimClock()
+		var last float64
+		ok := true
+		for _, d := range delays {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e6 {
+				continue
+			}
+			c.After(d, func() {
+				if c.Now() < last {
+					ok = false
+				}
+				last = c.Now()
+			})
+		}
+		c.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := NewRealClock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	c.After(0, func() { wg.Done() })
+	wg.Wait()
+	if c.Now() < 0 {
+		t.Fatal("negative wall time")
+	}
+}
+
+func TestPlatformSpecs(t *testing.T) {
+	s := Summit()
+	if s.Nodes != 4608 || s.Spec.GPUs != 6 || s.Spec.Cores != 42 {
+		t.Fatalf("Summit spec wrong: %+v", s)
+	}
+	if s.TotalGPUs() != 4608*6 {
+		t.Fatalf("TotalGPUs = %d", s.TotalGPUs())
+	}
+	f := Frontera()
+	if f.Spec.GPUs != 0 || f.TotalCores() != 8008*56 {
+		t.Fatalf("Frontera spec wrong: %+v", f)
+	}
+}
+
+func TestWithNodesClamps(t *testing.T) {
+	p := Summit().WithNodes(100)
+	if p.Nodes != 100 {
+		t.Fatalf("WithNodes = %d", p.Nodes)
+	}
+	p = Summit().WithNodes(10_000_000)
+	if p.Nodes != 4608 {
+		t.Fatalf("WithNodes did not clamp: %d", p.Nodes)
+	}
+}
+
+func TestBatchSystemQueueWait(t *testing.T) {
+	clk := NewSimClock()
+	bs := &BatchSystem{Clock: clk, QueueWait: 120}
+	var grantedAt float64
+	var got Platform
+	bs.Submit(Summit(), 1000, func(p Platform) {
+		grantedAt = clk.Now()
+		got = p
+	})
+	clk.Run()
+	if grantedAt != 120 {
+		t.Fatalf("granted at %v, want 120", grantedAt)
+	}
+	if got.Nodes != 1000 {
+		t.Fatalf("allocation nodes = %d", got.Nodes)
+	}
+}
+
+func TestFlopCounter(t *testing.T) {
+	fc := NewFlopCounter()
+	fc.Add("S1", 1000, 2, 10)
+	fc.Add("S1", 1000, 2, 10)
+	fc.Add("ML1", 500, 1, 100)
+	stats := fc.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("components = %d", len(stats))
+	}
+	s1 := fc.Get("S1")
+	if s1.Flops != 2000 || s1.Seconds != 4 || s1.Units != 20 {
+		t.Fatalf("S1 stats = %+v", s1)
+	}
+	if s1.Rate != 500 || s1.Throughput != 5 {
+		t.Fatalf("S1 rates = %+v", s1)
+	}
+	if got := fc.Get("missing"); got.Flops != 0 {
+		t.Fatalf("missing component = %+v", got)
+	}
+}
+
+func TestFlopCounterConcurrent(t *testing.T) {
+	fc := NewFlopCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				fc.Add("x", 1, 0.001, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fc.Get("x"); got.Flops != 8000 {
+		t.Fatalf("concurrent adds lost: %d", got.Flops)
+	}
+}
+
+func BenchmarkSimClockEvents(b *testing.B) {
+	c := NewSimClock()
+	for i := 0; i < b.N; i++ {
+		c.After(float64(i%100), func() {})
+	}
+	b.ResetTimer()
+	c.Run()
+}

@@ -1,0 +1,62 @@
+package hpc
+
+// NodeSpec describes one compute node's resources.
+type NodeSpec struct {
+	Cores int
+	GPUs  int
+}
+
+// Platform is a named machine with homogeneous nodes.
+type Platform struct {
+	Name  string
+	Nodes int
+	Spec  NodeSpec
+}
+
+// Summit returns the OLCF Summit configuration the paper's Tables 2-3 are
+// normalized to: 4608 nodes, 42 usable CPU cores and 6 V100 GPUs each.
+func Summit() Platform {
+	return Platform{Name: "Summit", Nodes: 4608, Spec: NodeSpec{Cores: 42, GPUs: 6}}
+}
+
+// Frontera returns the TACC Frontera configuration (§8: 40 M docks/hour
+// sustained on 4000 nodes): 8008 CPU nodes, 56 cores, no GPUs.
+func Frontera() Platform {
+	return Platform{Name: "Frontera", Nodes: 8008, Spec: NodeSpec{Cores: 56}}
+}
+
+// Lassen returns the LLNL Lassen configuration (Summit-like, 4 GPUs).
+func Lassen() Platform {
+	return Platform{Name: "Lassen", Nodes: 795, Spec: NodeSpec{Cores: 40, GPUs: 4}}
+}
+
+// WithNodes returns a copy of the platform restricted to n nodes (what a
+// batch allocation grants).
+func (p Platform) WithNodes(n int) Platform {
+	if n > p.Nodes {
+		n = p.Nodes
+	}
+	p.Nodes = n
+	return p
+}
+
+// TotalCores returns the aggregate core count.
+func (p Platform) TotalCores() int { return p.Nodes * p.Spec.Cores }
+
+// TotalGPUs returns the aggregate GPU count.
+func (p Platform) TotalGPUs() int { return p.Nodes * p.Spec.GPUs }
+
+// BatchSystem models the machine's batch scheduler at the fidelity the
+// campaign needs: a submission delay before a pilot's resources become
+// available (queue wait), after which the allocation is dedicated.
+type BatchSystem struct {
+	Clock     Clock
+	QueueWait float64 // seconds between submission and allocation
+}
+
+// Submit requests n nodes of p and calls grant with the allocation when
+// the queue wait elapses.
+func (b *BatchSystem) Submit(p Platform, n int, grant func(Platform)) {
+	alloc := p.WithNodes(n)
+	b.Clock.After(b.QueueWait, func() { grant(alloc) })
+}

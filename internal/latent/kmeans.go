@@ -1,0 +1,116 @@
+package latent
+
+import (
+	"math"
+
+	"impeccable/internal/xrand"
+)
+
+// KMeansResult holds a clustering of latent points.
+type KMeansResult struct {
+	Centroids [][]float64
+	Assign    []int   // cluster index per point
+	Inertia   float64 // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters the rows of x into k clusters with k-means++
+// initialization and Lloyd iterations. Used to identify "kinetically and
+// energetically coherent conformational substates" from embeddings
+// (§3.2 S2).
+func KMeans(x [][]float64, k, iters int, seed uint64) KMeansResult {
+	n := len(x)
+	if n == 0 || k <= 0 {
+		return KMeansResult{}
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(x[0])
+	r := xrand.New(seed)
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := r.Intn(n)
+	centroids = append(centroids, append([]float64(nil), x[first]...))
+	minD2 := make([]float64, n)
+	for i := range minD2 {
+		minD2[i] = sq(euclid(x[i], centroids[0]))
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range minD2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = r.Intn(n)
+		} else {
+			t := r.Float64() * total
+			for i, d := range minD2 {
+				t -= d
+				if t < 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), x[pick]...)
+		centroids = append(centroids, c)
+		for i := range minD2 {
+			if d := sq(euclid(x[i], c)); d < minD2[i] {
+				minD2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := sq(euclid(x[i], centroids[c])); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += x[i][d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], x[r.Intn(n)])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] /= float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += sq(euclid(x[i], centroids[assign[i]]))
+	}
+	return KMeansResult{Centroids: centroids, Assign: assign, Inertia: inertia}
+}
+
+func sq(x float64) float64 { return x * x }

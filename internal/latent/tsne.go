@@ -1,0 +1,211 @@
+package latent
+
+import (
+	"math"
+
+	"impeccable/internal/xrand"
+)
+
+// TSNEConfig controls the exact t-SNE embedding (van der Maaten & Hinton
+// 2008) used to visualize AAE latent spaces (Fig. 5C). Exact (quadratic)
+// t-SNE is appropriate at the few-thousand-point scale of the paper's
+// validation-set plots.
+type TSNEConfig struct {
+	Perplexity   float64
+	Iters        int
+	LearningRate float64
+	Momentum     float64
+	Seed         uint64
+	OutDim       int
+}
+
+// DefaultTSNEConfig mirrors common defaults.
+func DefaultTSNEConfig() TSNEConfig {
+	return TSNEConfig{
+		Perplexity:   30,
+		Iters:        300,
+		LearningRate: 100,
+		Momentum:     0.8,
+		Seed:         1,
+		OutDim:       2,
+	}
+}
+
+// TSNE embeds the rows of x into cfg.OutDim dimensions.
+func TSNE(x [][]float64, cfg TSNEConfig) [][]float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if cfg.OutDim <= 0 {
+		cfg.OutDim = 2
+	}
+	if n == 1 {
+		return [][]float64{make([]float64, cfg.OutDim)}
+	}
+	perp := cfg.Perplexity
+	if maxPerp := float64(n-1) / 3; perp > maxPerp {
+		perp = maxPerp
+	}
+	if perp < 2 {
+		perp = 2
+	}
+	p := jointProbabilities(x, perp)
+
+	r := xrand.New(cfg.Seed)
+	y := make([][]float64, n)
+	for i := range y {
+		y[i] = make([]float64, cfg.OutDim)
+		for d := range y[i] {
+			y[i][d] = r.Norm(0, 1e-2)
+		}
+	}
+	vel := make([][]float64, n)
+	grad := make([][]float64, n)
+	for i := range vel {
+		vel[i] = make([]float64, cfg.OutDim)
+		grad[i] = make([]float64, cfg.OutDim)
+	}
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// Early exaggeration for the first quarter of iterations.
+		exag := 1.0
+		if iter < cfg.Iters/4 {
+			exag = 4.0
+		}
+		// Student-t affinities in the embedding.
+		var qsum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d2 := 0.0
+				for d := 0; d < cfg.OutDim; d++ {
+					diff := y[i][d] - y[j][d]
+					d2 += diff * diff
+				}
+				v := 1 / (1 + d2)
+				q[i][j] = v
+				q[j][i] = v
+				qsum += 2 * v
+			}
+		}
+		if qsum == 0 {
+			qsum = 1e-12
+		}
+		// Gradient: 4 Σ_j (p_ij·exag - q_ij/qsum)·(1+|y_i-y_j|²)⁻¹·(y_i-y_j).
+		for i := 0; i < n; i++ {
+			for d := 0; d < cfg.OutDim; d++ {
+				grad[i][d] = 0
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := 4 * (exag*p[i][j] - q[i][j]/qsum) * q[i][j]
+				for d := 0; d < cfg.OutDim; d++ {
+					grad[i][d] += mult * (y[i][d] - y[j][d])
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for d := 0; d < cfg.OutDim; d++ {
+				vel[i][d] = cfg.Momentum*vel[i][d] - cfg.LearningRate*grad[i][d]
+				y[i][d] += vel[i][d]
+			}
+		}
+	}
+	return y
+}
+
+// jointProbabilities builds the symmetrized high-dimensional affinity
+// matrix with per-point bandwidths calibrated to the target perplexity by
+// bisection.
+func jointProbabilities(x [][]float64, perplexity float64) [][]float64 {
+	n := len(x)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				dd := euclid(x[i], x[j])
+				d2[i][j] = dd * dd
+			}
+		}
+	}
+	logPerp := math.Log(perplexity)
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+	}
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for bis := 0; bis < 50; bis++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-d2[i][j] * beta)
+				sum += row[j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the conditional distribution.
+			var h float64
+			for j := 0; j < n; j++ {
+				if row[j] > 0 {
+					pj := row[j] / sum
+					h -= pj * math.Log(pj)
+				}
+			}
+			if math.Abs(h-logPerp) < 1e-5 {
+				break
+			}
+			if h > logPerp {
+				lo = beta
+				if hi > 1e19 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			row[j] = math.Exp(-d2[i][j] * beta)
+			sum += row[j]
+		}
+		if sum == 0 {
+			sum = 1e-12
+		}
+		for j := 0; j < n; j++ {
+			p[i][j] = row[j] / sum
+		}
+	}
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p[i][j] = v
+			p[j][i] = v
+		}
+		p[i][i] = 0
+	}
+	return p
+}

@@ -1,0 +1,183 @@
+package nn
+
+import "impeccable/internal/xrand"
+
+// Conv2D is a stride-1, valid-padding 2-D convolution over batched
+// images. Batch rows are flattened (channels × height × width) tensors in
+// channel-major order. It supports the small image-based ML1 variant (the
+// paper's ResNet-50 downscaled to this substrate's 2-D depictions).
+type Conv2D struct {
+	InC, InH, InW int
+	OutC, K       int // output channels, square kernel size
+
+	W *Param // OutC × (InC·K·K)
+	B *Param // 1 × OutC
+
+	x *Mat // cached input
+}
+
+// NewConv2D builds a convolution layer with He initialization.
+func NewConv2D(inC, inH, inW, outC, k int, r *xrand.RNG) *Conv2D {
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW, OutC: outC, K: k,
+		W: NewParam(outC, inC*k*k),
+		B: NewParam(1, outC),
+	}
+	c.W.HeInit(r)
+	return c
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return c.InH - c.K + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return c.InW - c.K + 1 }
+
+// OutDim returns the flattened output length per sample.
+func (c *Conv2D) OutDim() int { return c.OutC * c.OutH() * c.OutW() }
+
+func (c *Conv2D) inIdx(ch, y, x int) int  { return (ch*c.InH+y)*c.InW + x }
+func (c *Conv2D) outIdx(ch, y, x int) int { return (ch*c.OutH()+y)*c.OutW() + x }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Mat) *Mat {
+	c.x = x
+	oh, ow := c.OutH(), c.OutW()
+	out := NewMat(x.R, c.OutDim())
+	for s := 0; s < x.R; s++ {
+		in := x.Row(s)
+		o := out.Row(s)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W.W.Row(oc)
+			bias := c.B.W.V[oc]
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					acc := bias
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							base := c.inIdx(ic, y+ky, xx)
+							for kx := 0; kx < c.K; kx++ {
+								acc += w[wi] * in[base+kx]
+								wi++
+							}
+						}
+					}
+					o[c.outIdx(oc, y, xx)] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Mat) *Mat {
+	oh, ow := c.OutH(), c.OutW()
+	dx := NewMat(c.x.R, c.x.C)
+	for s := 0; s < c.x.R; s++ {
+		in := c.x.Row(s)
+		g := grad.Row(s)
+		dIn := dx.Row(s)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W.W.Row(oc)
+			dW := c.W.G.Row(oc)
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					gv := g[c.outIdx(oc, y, xx)]
+					if gv == 0 {
+						continue
+					}
+					c.B.G.V[oc] += gv
+					wi := 0
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							base := c.inIdx(ic, y+ky, xx)
+							for kx := 0; kx < c.K; kx++ {
+								dW[wi] += gv * in[base+kx]
+								dIn[base+kx] += gv * w[wi]
+								wi++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool2D is a non-overlapping 2-D max pool (window = stride = P).
+type MaxPool2D struct {
+	C, H, W, P int
+	argmax     []int // per output element, input index of the max
+	inCols     int
+}
+
+// NewMaxPool2D builds a pool layer over C×H×W inputs.
+func NewMaxPool2D(c, h, w, p int) *MaxPool2D {
+	return &MaxPool2D{C: c, H: h, W: w, P: p}
+}
+
+// OutH returns pooled height.
+func (m *MaxPool2D) OutH() int { return m.H / m.P }
+
+// OutW returns pooled width.
+func (m *MaxPool2D) OutW() int { return m.W / m.P }
+
+// OutDim returns the flattened output length per sample.
+func (m *MaxPool2D) OutDim() int { return m.C * m.OutH() * m.OutW() }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *Mat) *Mat {
+	oh, ow := m.OutH(), m.OutW()
+	out := NewMat(x.R, m.OutDim())
+	m.inCols = x.C
+	if cap(m.argmax) < x.R*out.C {
+		m.argmax = make([]int, x.R*out.C)
+	}
+	m.argmax = m.argmax[:x.R*out.C]
+	for s := 0; s < x.R; s++ {
+		in := x.Row(s)
+		o := out.Row(s)
+		for c := 0; c < m.C; c++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					best := -1
+					bv := 0.0
+					for py := 0; py < m.P; py++ {
+						for px := 0; px < m.P; px++ {
+							idx := (c*m.H+y*m.P+py)*m.W + xx*m.P + px
+							if best < 0 || in[idx] > bv {
+								best, bv = idx, in[idx]
+							}
+						}
+					}
+					oi := (c*oh+y)*ow + xx
+					o[oi] = bv
+					m.argmax[s*out.C+oi] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *Mat) *Mat {
+	dx := NewMat(grad.R, m.inCols)
+	for s := 0; s < grad.R; s++ {
+		g := grad.Row(s)
+		d := dx.Row(s)
+		for oi, gv := range g {
+			d[m.argmax[s*grad.C+oi]] += gv
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math"
+
+	"impeccable/internal/xrand"
+)
+
+// Layer is a differentiable module operating on batched row vectors.
+type Layer interface {
+	// Forward maps a batch (rows = samples) to its output batch and
+	// caches whatever Backward needs.
+	Forward(x *Mat) *Mat
+	// Backward receives dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients.
+	Backward(grad *Mat) *Mat
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	W, B *Param
+	x    *Mat // cached input
+}
+
+// NewDense builds an in→out dense layer with He initialization.
+func NewDense(in, out int, r *xrand.RNG) *Dense {
+	d := &Dense{W: NewParam(in, out), B: NewParam(1, out)}
+	d.W.HeInit(r)
+	return d
+}
+
+// NewDenseXavier builds an in→out dense layer with Xavier initialization
+// (tanh/sigmoid-friendly).
+func NewDenseXavier(in, out int, r *xrand.RNG) *Dense {
+	d := &Dense{W: NewParam(in, out), B: NewParam(1, out)}
+	d.W.XavierInit(r)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Mat) *Mat {
+	d.x = x
+	out := MatMul(x, d.W.W)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B.W.V[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Mat) *Mat {
+	// dW += xᵀ·grad ; db += Σ_rows grad ; dx = grad·Wᵀ.
+	d.W.G.AddInPlace(MatMulATB(d.x, grad))
+	for i := 0; i < grad.R; i++ {
+		row := grad.Row(i)
+		for j := range row {
+			d.B.G.V[j] += row[j]
+		}
+	}
+	return MatMulABT(grad, d.W.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ mask []bool }
+
+// Forward implements Layer.
+func (a *ReLU) Forward(x *Mat) *Mat {
+	out := x.Clone()
+	if cap(a.mask) < len(out.V) {
+		a.mask = make([]bool, len(out.V))
+	}
+	a.mask = a.mask[:len(out.V)]
+	for i, v := range out.V {
+		if v <= 0 {
+			out.V[i] = 0
+			a.mask[i] = false
+		} else {
+			a.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *ReLU) Backward(grad *Mat) *Mat {
+	out := grad.Clone()
+	for i := range out.V {
+		if !a.mask[i] {
+			out.V[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU keeps a small negative-side slope (used by the AAE critic).
+type LeakyReLU struct {
+	Alpha float64
+	x     *Mat
+}
+
+// Forward implements Layer.
+func (a *LeakyReLU) Forward(x *Mat) *Mat {
+	a.x = x
+	out := x.Clone()
+	for i, v := range out.V {
+		if v < 0 {
+			out.V[i] = a.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *LeakyReLU) Backward(grad *Mat) *Mat {
+	out := grad.Clone()
+	for i := range out.V {
+		if a.x.V[i] < 0 {
+			out.V[i] *= a.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{ y *Mat }
+
+// Forward implements Layer.
+func (a *Tanh) Forward(x *Mat) *Mat {
+	out := x.Clone()
+	for i, v := range out.V {
+		out.V[i] = math.Tanh(v)
+	}
+	a.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (a *Tanh) Backward(grad *Mat) *Mat {
+	out := grad.Clone()
+	for i := range out.V {
+		out.V[i] *= 1 - a.y.V[i]*a.y.V[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct{ y *Mat }
+
+// Forward implements Layer.
+func (a *Sigmoid) Forward(x *Mat) *Mat {
+	out := x.Clone()
+	for i, v := range out.V {
+		out.V[i] = 1 / (1 + math.Exp(-v))
+	}
+	a.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (a *Sigmoid) Backward(grad *Mat) *Mat {
+	out := grad.Clone()
+	for i := range out.V {
+		out.V[i] *= a.y.V[i] * (1 - a.y.V[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (a *Sigmoid) Params() []*Param { return nil }
+
+// Sequential chains layers into a network.
+type Sequential struct{ Layers []Layer }
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Mat) *Mat {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *Mat) *Mat {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W.V)
+	}
+	return n
+}
+
+// ForwardFlops estimates floating-point operations for one forward pass at
+// the given batch size (2·in·out per dense layer per sample), for Table 3
+// style accounting.
+func (s *Sequential) ForwardFlops(batch int) int64 {
+	var f int64
+	for _, l := range s.Layers {
+		if d, ok := l.(*Dense); ok {
+			f += int64(batch) * int64(2*d.W.W.R*d.W.W.C)
+		}
+	}
+	return f
+}

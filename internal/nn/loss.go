@@ -1,0 +1,68 @@
+package nn
+
+import "math"
+
+// MSELoss returns the mean-squared-error loss over the batch and the
+// gradient dL/dpred (same shape as pred).
+func MSELoss(pred, target *Mat) (float64, *Mat) {
+	if pred.R != target.R || pred.C != target.C {
+		panic("nn: MSELoss shape mismatch")
+	}
+	grad := NewMat(pred.R, pred.C)
+	n := float64(len(pred.V))
+	var loss float64
+	for i := range pred.V {
+		d := pred.V[i] - target.V[i]
+		loss += d * d
+		grad.V[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// HuberLoss returns the Huber (smooth-L1) loss with threshold delta and
+// its gradient; robust to the heavy-tailed docking-score targets.
+func HuberLoss(pred, target *Mat, delta float64) (float64, *Mat) {
+	if pred.R != target.R || pred.C != target.C {
+		panic("nn: HuberLoss shape mismatch")
+	}
+	grad := NewMat(pred.R, pred.C)
+	n := float64(len(pred.V))
+	var loss float64
+	for i := range pred.V {
+		d := pred.V[i] - target.V[i]
+		if math.Abs(d) <= delta {
+			loss += 0.5 * d * d
+			grad.V[i] = d / n
+		} else {
+			loss += delta * (math.Abs(d) - 0.5*delta)
+			grad.V[i] = delta * sign(d) / n
+		}
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogits returns binary cross-entropy over raw scores (logits) and
+// the gradient dL/dlogit, numerically stable.
+func BCEWithLogits(logits, target *Mat) (float64, *Mat) {
+	if logits.R != target.R || logits.C != target.C {
+		panic("nn: BCE shape mismatch")
+	}
+	grad := NewMat(logits.R, logits.C)
+	n := float64(len(logits.V))
+	var loss float64
+	for i := range logits.V {
+		x, t := logits.V[i], target.V[i]
+		// log(1+e^-|x|) + max(x,0) - x·t is the stable form.
+		loss += math.Log1p(math.Exp(-math.Abs(x))) + math.Max(x, 0) - x*t
+		p := 1 / (1 + math.Exp(-x))
+		grad.V[i] = (p - t) / n
+	}
+	return loss / n, grad
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

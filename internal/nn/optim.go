@@ -1,0 +1,169 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves gradients
+	// untouched (callers ZeroGrad between batches).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*Mat
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param]*Mat{}}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = NewMat(p.W.R, p.W.C)
+			o.vel[p] = v
+		}
+		for i := range p.W.V {
+			v.V[i] = o.Momentum*v.V[i] - o.LR*p.G.V[i]
+			p.W.V[i] += v.V[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*Mat
+}
+
+// NewAdam returns Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*Mat{}, v: map[*Param]*Mat{}}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, v := o.m[p], o.v[p]
+		if m == nil {
+			m = NewMat(p.W.R, p.W.C)
+			v = NewMat(p.W.R, p.W.C)
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.W.V {
+			g := p.G.V[i]
+			m.V[i] = o.Beta1*m.V[i] + (1-o.Beta1)*g
+			v.V[i] = o.Beta2*v.V[i] + (1-o.Beta2)*g*g
+			mh := m.V[i] / bc1
+			vh := v.V[i] / bc2
+			p.W.V[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+	}
+}
+
+// RMSprop is the optimizer the paper trains the 3D-AAE with (§7.1.3,
+// learning rate 1e-5).
+type RMSprop struct {
+	LR, Rho, Eps float64
+	v            map[*Param]*Mat
+}
+
+// NewRMSprop returns RMSprop with decay 0.9 and ε=1e-8.
+func NewRMSprop(lr float64) *RMSprop {
+	return &RMSprop{LR: lr, Rho: 0.9, Eps: 1e-8, v: map[*Param]*Mat{}}
+}
+
+// Step implements Optimizer.
+func (o *RMSprop) Step(params []*Param) {
+	for _, p := range params {
+		v := o.v[p]
+		if v == nil {
+			v = NewMat(p.W.R, p.W.C)
+			o.v[p] = v
+		}
+		for i := range p.W.V {
+			g := p.G.V[i]
+			v.V[i] = o.Rho*v.V[i] + (1-o.Rho)*g*g
+			p.W.V[i] -= o.LR * g / (math.Sqrt(v.V[i]) + o.Eps)
+		}
+	}
+}
+
+// AdaDelta is the per-dimension-scale-free optimizer (Zeiler 2012); the
+// docking engine uses the same rule for pose refinement, and having it
+// here completes the optimizer family for ablations.
+type AdaDelta struct {
+	Rho, Eps float64
+	eg, ex   map[*Param]*Mat
+}
+
+// NewAdaDelta returns AdaDelta with ρ=0.95 and ε=1e-6.
+func NewAdaDelta() *AdaDelta {
+	return &AdaDelta{Rho: 0.95, Eps: 1e-6, eg: map[*Param]*Mat{}, ex: map[*Param]*Mat{}}
+}
+
+// Step implements Optimizer.
+func (o *AdaDelta) Step(params []*Param) {
+	for _, p := range params {
+		eg, ex := o.eg[p], o.ex[p]
+		if eg == nil {
+			eg = NewMat(p.W.R, p.W.C)
+			ex = NewMat(p.W.R, p.W.C)
+			o.eg[p], o.ex[p] = eg, ex
+		}
+		for i := range p.W.V {
+			g := p.G.V[i]
+			eg.V[i] = o.Rho*eg.V[i] + (1-o.Rho)*g*g
+			dx := -math.Sqrt(ex.V[i]+o.Eps) / math.Sqrt(eg.V[i]+o.Eps) * g
+			ex.V[i] = o.Rho*ex.V[i] + (1-o.Rho)*dx*dx
+			p.W.V[i] += dx
+		}
+	}
+}
+
+// ClipGrads rescales all gradients so their global L2 norm is at most
+// maxNorm (gradient clipping, used by the adversarial training loop).
+func ClipGrads(params []*Param, maxNorm float64) {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.G.V {
+			total += g * g
+		}
+	}
+	total = math.Sqrt(total)
+	if total <= maxNorm || total == 0 {
+		return
+	}
+	scale := maxNorm / total
+	for _, p := range params {
+		for i := range p.G.V {
+			p.G.V[i] *= scale
+		}
+	}
+}
+
+// ClipWeights clamps every weight into [-c, c] (the WGAN weight-clipping
+// Lipschitz constraint used by the AAE critic; see DESIGN.md on the
+// gradient-penalty substitution).
+func ClipWeights(params []*Param, c float64) {
+	for _, p := range params {
+		for i := range p.W.V {
+			if p.W.V[i] > c {
+				p.W.V[i] = c
+			} else if p.W.V[i] < -c {
+				p.W.V[i] = -c
+			}
+		}
+	}
+}

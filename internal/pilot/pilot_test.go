@@ -1,0 +1,292 @@
+package pilot
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"impeccable/internal/hpc"
+	"impeccable/internal/xrand"
+)
+
+func simPilot(nodes int) (*Pilot, *hpc.SimClock) {
+	clk := hpc.NewSimClock()
+	p := NewPilot(hpc.Summit().WithNodes(nodes), clk, &SimExecutor{Clock: clk})
+	return p, clk
+}
+
+func TestSingleTaskLifecycle(t *testing.T) {
+	p, clk := simPilot(1)
+	task := &Task{Name: "t", Cores: 1, Duration: 10}
+	p.Submit(task)
+	clk.Run()
+	if task.State != Done {
+		t.Fatalf("state = %v", task.State)
+	}
+	if task.StartTime != 0 || task.EndTime != 10 {
+		t.Fatalf("times = %v..%v", task.StartTime, task.EndTime)
+	}
+	if len(p.Executed()) != 1 {
+		t.Fatal("executed list wrong")
+	}
+}
+
+func TestConcurrencyBoundedByResources(t *testing.T) {
+	// 10 one-GPU tasks on a 1-node (6 GPU) pilot: two waves of 6 and 4.
+	p, clk := simPilot(1)
+	tasks := make([]*Task, 10)
+	for i := range tasks {
+		tasks[i] = &Task{Cores: 1, GPUs: 1, Duration: 5}
+	}
+	p.Submit(tasks...)
+	end := clk.Run()
+	if end != 10 {
+		t.Fatalf("makespan = %v, want 10 (two waves)", end)
+	}
+	started5 := 0
+	for _, task := range tasks {
+		if task.StartTime == 5 {
+			started5++
+		}
+	}
+	if started5 != 4 {
+		t.Fatalf("second wave = %d tasks, want 4", started5)
+	}
+}
+
+func TestPaperExample10000Tasks(t *testing.T) {
+	// §5.2.2: "given 10,000 single-node tasks and 1000 nodes, a pilot
+	// system will execute 1000 tasks concurrently" — ten waves.
+	p, clk := simPilot(1000)
+	tasks := make([]*Task, 10000)
+	for i := range tasks {
+		tasks[i] = &Task{Cores: 42, GPUs: 6, Duration: 100}
+	}
+	p.Submit(tasks...)
+	end := clk.Run()
+	if end != 1000 {
+		t.Fatalf("makespan = %v, want 1000 (10 waves × 100 s)", end)
+	}
+	if p.Oversubscribed() {
+		t.Fatal("scheduler oversubscribed")
+	}
+}
+
+func TestHeterogeneousMix(t *testing.T) {
+	// GPU tasks and CPU tasks share nodes concurrently (RP feature 1:
+	// concurrent heterogeneous tasks on the same pilot).
+	p, clk := simPilot(2)
+	mpi := &Task{Name: "mpi", Cores: 42, GPUs: 6, Nodes: 1, Duration: 10}
+	gpu := &Task{Name: "gpu", Cores: 1, GPUs: 4, Duration: 10}
+	cpu := &Task{Name: "cpu", Cores: 40, Duration: 10}
+	p.Submit(mpi, gpu, cpu)
+	clk.Run()
+	// mpi fills node 0; gpu and cpu co-reside on node 1: all start at 0.
+	for _, task := range []*Task{gpu, cpu, mpi} {
+		if task.StartTime != 0 {
+			t.Fatalf("%s started at %v, want 0", task.Name, task.StartTime)
+		}
+	}
+}
+
+func TestMultiNodeTask(t *testing.T) {
+	p, clk := simPilot(4)
+	mpi := &Task{Name: "mpi4", Cores: 42, GPUs: 6, Nodes: 4, Duration: 7}
+	p.Submit(mpi)
+	clk.Run()
+	if mpi.State != Done {
+		t.Fatalf("state = %v", mpi.State)
+	}
+	if got := clk.Now(); got != 7 {
+		t.Fatalf("makespan = %v", got)
+	}
+}
+
+func TestUnsatisfiableTaskFails(t *testing.T) {
+	p, clk := simPilot(2)
+	bad := &Task{Name: "too-big", Cores: 42, Nodes: 3, Duration: 1}
+	good := &Task{Name: "ok", Cores: 1, Duration: 1}
+	p.Submit(bad, good)
+	clk.Run()
+	if bad.State != Failed {
+		t.Fatalf("oversized task state = %v", bad.State)
+	}
+	if good.State != Done {
+		t.Fatalf("good task state = %v", good.State)
+	}
+	if len(p.FailedTasks()) != 1 {
+		t.Fatal("failed list wrong")
+	}
+}
+
+func TestBackfilling(t *testing.T) {
+	// A large task blocks, but a small one behind it backfills.
+	p, clk := simPilot(1)
+	hog := &Task{Name: "hog", Cores: 42, Duration: 10}
+	big := &Task{Name: "big", Cores: 42, Duration: 5}
+	small := &Task{Name: "small", Cores: 0, GPUs: 1, Duration: 5}
+	p.Submit(hog, big, small)
+	clk.Run()
+	if small.StartTime != 0 {
+		t.Fatalf("small task did not backfill: start %v", small.StartTime)
+	}
+	if big.StartTime != 10 {
+		t.Fatalf("big task start = %v", big.StartTime)
+	}
+}
+
+func TestOnDoneCallback(t *testing.T) {
+	p, clk := simPilot(1)
+	var order []string
+	a := &Task{Name: "a", Cores: 1, Duration: 3}
+	a.OnDone = func(done *Task) {
+		order = append(order, "a")
+		p.Submit(&Task{Name: "b", Cores: 1, Duration: 2,
+			OnDone: func(*Task) { order = append(order, "b") }})
+	}
+	p.Submit(a)
+	clk.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("callback order = %v", order)
+	}
+	if clk.Now() != 5 {
+		t.Fatalf("chained makespan = %v", clk.Now())
+	}
+}
+
+func TestUtilizationTrace(t *testing.T) {
+	p, clk := simPilot(2)
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = &Task{Cores: 42, GPUs: 6, Duration: 10}
+	}
+	p.Submit(tasks...)
+	clk.Run()
+	trace := p.UtilizationTrace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// At submit: 2 busy nodes, 2 queued.
+	first := trace[0]
+	if first.BusyNodes != 2 || first.Queued != 2 {
+		t.Fatalf("first sample = %+v", first)
+	}
+	last := trace[len(trace)-1]
+	if last.BusyNodes != 0 || last.Running != 0 || last.Queued != 0 {
+		t.Fatalf("final sample = %+v", last)
+	}
+}
+
+func TestFlopAccounting(t *testing.T) {
+	p, clk := simPilot(1)
+	fc := hpc.NewFlopCounter()
+	p.Counter = fc
+	p.Submit(&Task{Cores: 1, Duration: 4, Flops: 1000, Component: "S1"})
+	clk.Run()
+	got := fc.Get("S1")
+	if got.Flops != 1000 || got.Seconds != 4 || got.Units != 1 {
+		t.Fatalf("accounting = %+v", got)
+	}
+	if got.Rate != 250 {
+		t.Fatalf("rate = %v", got.Rate)
+	}
+}
+
+func TestRealExecutor(t *testing.T) {
+	clk := hpc.NewRealClock()
+	p := NewPilot(hpc.Summit().WithNodes(2), clk, &RealExecutor{})
+	var ran atomic.Int64
+	tasks := make([]*Task, 20)
+	for i := range tasks {
+		tasks[i] = &Task{Cores: 4, Fn: func() { ran.Add(1) }}
+	}
+	p.Submit(tasks...)
+	p.Wait()
+	if ran.Load() != 20 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+	if !p.Idle() {
+		t.Fatal("pilot not idle after Wait")
+	}
+}
+
+func TestSchedulerNeverOversubscribes(t *testing.T) {
+	// Property test: random task streams never violate node capacity.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		nodes := 1 + r.Intn(8)
+		p, clk := simPilot(nodes)
+		n := 5 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			p.Submit(&Task{
+				Cores:    r.Intn(43),
+				GPUs:     r.Intn(7),
+				Nodes:    1 + r.Intn(3),
+				Duration: r.Range(0.1, 10),
+			})
+			if p.Oversubscribed() {
+				return false
+			}
+		}
+		clk.Run()
+		return !p.Oversubscribed() && p.Idle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	// Sequential sub-node tasks should not all land on node 0.
+	p, clk := simPilot(4)
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = &Task{Cores: 1, Duration: 10}
+	}
+	p.Submit(tasks...)
+	clk.RunUntil(1)
+	nodes := map[int]bool{}
+	for _, task := range tasks {
+		if len(task.placement) == 1 {
+			nodes[task.placement[0]] = true
+		}
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("all tasks packed onto %d node(s)", len(nodes))
+	}
+	clk.Run()
+}
+
+func BenchmarkSubmitScheduleDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, clk := simPilot(64)
+		tasks := make([]*Task, 1000)
+		for j := range tasks {
+			tasks[j] = &Task{Cores: 7, GPUs: 1, Duration: 1}
+		}
+		p.Submit(tasks...)
+		clk.Run()
+	}
+}
+
+func TestPanickingTaskContained(t *testing.T) {
+	clk := hpc.NewRealClock()
+	p := NewPilot(hpc.Summit().WithNodes(1), clk, &RealExecutor{})
+	bad := &Task{Name: "boom", Cores: 1, Fn: func() { panic("kaboom") }}
+	var ran atomic.Int64
+	good := &Task{Name: "ok", Cores: 1, Fn: func() { ran.Add(1) }}
+	p.Submit(bad, good)
+	p.Wait()
+	if bad.State != Failed || bad.Err == nil {
+		t.Fatalf("panicking task state = %v, err = %v", bad.State, bad.Err)
+	}
+	if good.State != Done || ran.Load() != 1 {
+		t.Fatalf("good task affected: %v", good.State)
+	}
+	if len(p.FailedTasks()) != 1 || len(p.Executed()) != 1 {
+		t.Fatal("bookkeeping wrong after panic")
+	}
+	if p.Oversubscribed() {
+		t.Fatal("resources leaked after panic")
+	}
+}

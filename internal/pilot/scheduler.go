@@ -1,0 +1,108 @@
+package pilot
+
+import "impeccable/internal/hpc"
+
+// Scheduler bin-packs tasks onto the pilot's nodes. It tracks free cores
+// and GPUs per node and places tasks first-fit from a rotating cursor
+// (round-robin-ish, so long campaigns spread load instead of hammering
+// node 0 — the same load-spreading concern §6.1.2 raises).
+type Scheduler struct {
+	spec      hpc.NodeSpec
+	freeCores []int
+	freeGPUs  []int
+	cursor    int
+	busyCores int
+	busyGPUs  int
+}
+
+// NewScheduler builds a scheduler over the allocation.
+func NewScheduler(p hpc.Platform) *Scheduler {
+	s := &Scheduler{
+		spec:      p.Spec,
+		freeCores: make([]int, p.Nodes),
+		freeGPUs:  make([]int, p.Nodes),
+	}
+	for i := range s.freeCores {
+		s.freeCores[i] = p.Spec.Cores
+		s.freeGPUs[i] = p.Spec.GPUs
+	}
+	return s
+}
+
+// Nodes returns the allocation size.
+func (s *Scheduler) Nodes() int { return len(s.freeCores) }
+
+// fits reports whether node i can hold one node-instance of t.
+func (s *Scheduler) fits(i int, t *Task) bool {
+	return s.freeCores[i] >= t.Cores && s.freeGPUs[i] >= t.GPUs
+}
+
+// TryPlace attempts to place t, returning the node indices used. Tasks
+// too large for the allocation even when idle are rejected permanently
+// (ok=false, fatal=true).
+func (s *Scheduler) TryPlace(t *Task) (nodes []int, ok, fatal bool) {
+	need := t.nodesOrOne()
+	if need > s.Nodes() || t.Cores > s.spec.Cores || t.GPUs > s.spec.GPUs {
+		return nil, false, true
+	}
+	n := s.Nodes()
+	nodes = make([]int, 0, need)
+	for probe := 0; probe < n && len(nodes) < need; probe++ {
+		i := (s.cursor + probe) % n
+		if s.fits(i, t) {
+			nodes = append(nodes, i)
+		}
+	}
+	if len(nodes) < need {
+		return nil, false, false
+	}
+	for _, i := range nodes {
+		s.freeCores[i] -= t.Cores
+		s.freeGPUs[i] -= t.GPUs
+	}
+	s.busyCores += t.Cores * need
+	s.busyGPUs += t.GPUs * need
+	s.cursor = (nodes[len(nodes)-1] + 1) % n
+	t.placement = nodes
+	return nodes, true, false
+}
+
+// Release frees the resources held by t.
+func (s *Scheduler) Release(t *Task) {
+	for _, i := range t.placement {
+		s.freeCores[i] += t.Cores
+		s.freeGPUs[i] += t.GPUs
+	}
+	s.busyCores -= t.Cores * len(t.placement)
+	s.busyGPUs -= t.GPUs * len(t.placement)
+	t.placement = nil
+}
+
+// BusyCores returns the number of occupied cores.
+func (s *Scheduler) BusyCores() int { return s.busyCores }
+
+// BusyGPUs returns the number of occupied GPUs.
+func (s *Scheduler) BusyGPUs() int { return s.busyGPUs }
+
+// BusyNodes returns the number of nodes with any occupancy.
+func (s *Scheduler) BusyNodes() int {
+	n := 0
+	for i := range s.freeCores {
+		if s.freeCores[i] < s.spec.Cores || s.freeGPUs[i] < s.spec.GPUs {
+			n++
+		}
+	}
+	return n
+}
+
+// Oversubscribed reports whether any node's accounting went negative
+// (used by property tests: must never happen).
+func (s *Scheduler) Oversubscribed() bool {
+	for i := range s.freeCores {
+		if s.freeCores[i] < 0 || s.freeGPUs[i] < 0 ||
+			s.freeCores[i] > s.spec.Cores || s.freeGPUs[i] > s.spec.GPUs {
+			return true
+		}
+	}
+	return false
+}

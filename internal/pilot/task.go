@@ -1,0 +1,90 @@
+// Package pilot reimplements the RADICAL-Pilot runtime the paper builds
+// on (§5.2.2): pilot jobs acquire a multi-node allocation from the batch
+// system and then schedule and execute workloads of heterogeneous tasks —
+// scalar, multi-core, single- and multi-GPU, single- and multi-node —
+// directly on the acquired resources, without going back through the
+// machine's batch scheduler.
+//
+// The package preserves RP's architecture at the fidelity the paper's
+// results depend on: an Agent with a bin-packing Scheduler over node
+// resources (cores × GPUs) and a pluggable Executor. The RealExecutor
+// runs tasks as Go functions (laptop-scale campaigns); the SimExecutor
+// completes tasks after their modeled duration on the discrete-event
+// clock (Summit-scale campaigns, Fig. 7 and the §8 scaling claims).
+package pilot
+
+import "fmt"
+
+// State is a task lifecycle state, mirroring RP's state model.
+type State int
+
+// Task states, in lifecycle order.
+const (
+	New State = iota
+	Scheduled
+	Executing
+	Done
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case New:
+		return "NEW"
+	case Scheduled:
+		return "SCHEDULED"
+	case Executing:
+		return "EXECUTING"
+	case Done:
+		return "DONE"
+	case Failed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Task is a stand-alone unit of execution with well-defined resource
+// requirements (the paper's definition of task in §5.2.1).
+type Task struct {
+	ID   uint64
+	Name string
+
+	// Resource request: Nodes node-instances, each holding Cores cores
+	// and GPUs GPUs. Nodes == 0 is treated as 1.
+	Cores int
+	GPUs  int
+	Nodes int
+
+	// Duration is the modeled runtime in seconds (used by SimExecutor).
+	Duration float64
+	// Fn is the actual work (used by RealExecutor; optional).
+	Fn func()
+	// OnDone, if set, is invoked after the task completes, before
+	// dependent scheduling.
+	OnDone func(*Task)
+
+	// Flops and Component feed the hpc.FlopCounter.
+	Flops     int64
+	Component string
+
+	// Err records an execution failure (e.g. a recovered panic in Fn);
+	// a task with a non-nil Err finishes in state Failed.
+	Err error
+
+	// Runtime bookkeeping (set by the pilot).
+	State      State
+	SubmitTime float64
+	StartTime  float64
+	EndTime    float64
+	placement  []int // node indices occupied
+}
+
+// nodesOrOne returns the node count, defaulting to 1.
+func (t *Task) nodesOrOne() int {
+	if t.Nodes <= 0 {
+		return 1
+	}
+	return t.Nodes
+}

@@ -1,0 +1,210 @@
+package receptor
+
+import (
+	"math"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/geom"
+	"impeccable/internal/xrand"
+)
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := NewTarget("X", "0XXX", 42)
+	b := NewTarget("X", "0XXX", 42)
+	if len(a.Wells()) != len(b.Wells()) {
+		t.Fatal("well counts differ")
+	}
+	for i := range a.Wells() {
+		if a.Wells()[i].Pos != b.Wells()[i].Pos {
+			t.Fatalf("well %d position differs", i)
+		}
+	}
+	m := chem.FromID(7)
+	if a.TrueAffinity(m) != b.TrueAffinity(m) {
+		t.Fatal("TrueAffinity not deterministic")
+	}
+}
+
+func TestStandardTargetsDistinct(t *testing.T) {
+	ts := StandardTargets()
+	if len(ts) != 4 {
+		t.Fatalf("want 4 targets, got %d", len(ts))
+	}
+	m := chem.FromID(123)
+	aff := map[float64]bool{}
+	for _, tg := range ts {
+		aff[tg.TrueAffinity(m)] = true
+	}
+	if len(aff) < 4 {
+		t.Fatal("targets share affinity landscapes")
+	}
+	if ts[1].Name != "PLPro" || ts[1].PDBID != "6W9C" {
+		t.Fatalf("PLPro misconfigured: %+v", ts[1])
+	}
+}
+
+func TestTrueAffinityDistribution(t *testing.T) {
+	tg := PLPro()
+	r := xrand.New(1)
+	var sum, sumsq float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		dg := tg.TrueAffinity(chem.FromID(r.Uint64()))
+		if dg < -18 || dg > 2 {
+			t.Fatalf("affinity out of clamp range: %v", dg)
+		}
+		sum += dg
+		sumsq += dg * dg
+		lo, hi = math.Min(lo, dg), math.Max(hi, dg)
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if mean > 0 || mean < -12 {
+		t.Fatalf("affinity mean = %v, want in (-12, 0)", mean)
+	}
+	if sd < 1 || sd > 8 {
+		t.Fatalf("affinity spread = %v, want a discriminating landscape", sd)
+	}
+	if hi-lo < 5 {
+		t.Fatalf("affinity range too narrow: [%v, %v]", lo, hi)
+	}
+}
+
+func TestWellDepthsTrackAffinity(t *testing.T) {
+	// Molecules with better (more negative) true affinity must see
+	// deeper wells on average — this is the causal channel that makes
+	// docking informative about the hidden truth.
+	tg := PLPro()
+	r := xrand.New(3)
+	type rec struct{ aff, depth float64 }
+	recs := make([]rec, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		m := chem.FromID(r.Uint64())
+		depths := tg.WellDepths(m)
+		var mean float64
+		for _, d := range depths {
+			for _, v := range d {
+				mean += v
+			}
+		}
+		mean /= float64(len(depths) * int(chem.NumBeadClasses))
+		recs = append(recs, rec{tg.TrueAffinity(m), mean})
+	}
+	// Pearson correlation between affinity and mean depth should be
+	// strongly negative (deeper wells <=> lower ΔG).
+	var sa, sd, saa, sdd, sad float64
+	for _, x := range recs {
+		sa += x.aff
+		sd += x.depth
+		saa += x.aff * x.aff
+		sdd += x.depth * x.depth
+		sad += x.aff * x.depth
+	}
+	n := float64(len(recs))
+	cov := sad/n - (sa/n)*(sd/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vd := sdd/n - (sd/n)*(sd/n)
+	corr := cov / math.Sqrt(va*vd)
+	if corr > -0.5 {
+		t.Fatalf("affinity/depth correlation = %v, want strongly negative", corr)
+	}
+}
+
+func TestWellsInsideCavityNeighborhood(t *testing.T) {
+	for _, tg := range StandardTargets() {
+		for i, w := range tg.Wells() {
+			if w.Pos.Dist(tg.PocketCenter()) > tg.PocketRadius()+1 {
+				t.Fatalf("%s well %d at %v outside cavity", tg.Name, i, w.Pos)
+			}
+			if w.Sigma <= 0 {
+				t.Fatalf("%s well %d nonpositive sigma", tg.Name, i)
+			}
+		}
+	}
+}
+
+func TestBodyPenetration(t *testing.T) {
+	tg := PLPro()
+	// Deep inside the body, far from pocket: positive penetration.
+	if p := tg.BodyPenetration(geom.Vec3{X: -8}); p <= 0 {
+		t.Fatalf("interior point penetration = %v", p)
+	}
+	// Solvent: zero.
+	if p := tg.BodyPenetration(geom.Vec3{X: 30}); p != 0 {
+		t.Fatalf("solvent point penetration = %v", p)
+	}
+	// Pocket center: zero (cavity).
+	if p := tg.BodyPenetration(tg.PocketCenter()); p != 0 {
+		t.Fatalf("cavity point penetration = %v", p)
+	}
+}
+
+func TestInsideBodyConsistentWithPenetration(t *testing.T) {
+	tg := PLPro()
+	r := xrand.New(9)
+	for i := 0; i < 5000; i++ {
+		x := geom.Vec3{X: r.Range(-20, 20), Y: r.Range(-20, 20), Z: r.Range(-20, 20)}
+		in := tg.InsideBody(x)
+		pen := tg.BodyPenetration(x)
+		if in && pen <= 0 {
+			t.Fatalf("point %v inside body but penetration %v", x, pen)
+		}
+		if !in && pen > 0 {
+			t.Fatalf("point %v outside body but penetration %v", x, pen)
+		}
+	}
+}
+
+func TestBackboneGeometry(t *testing.T) {
+	tg := PLPro()
+	bb := tg.Backbone()
+	if len(bb) != BackboneLen {
+		t.Fatalf("backbone length = %d, want %d", len(bb), BackboneLen)
+	}
+	for i := 1; i < len(bb); i++ {
+		d := bb[i].Dist(bb[i-1])
+		// Bond length is 3.8 Å, but cavity steering may stretch a few.
+		if d < 1 || d > 12 {
+			t.Fatalf("bond %d length %v out of range", i, d)
+		}
+	}
+	// Backbone stays clear of the pocket so a ligand can bind.
+	for i, p := range bb {
+		if p.Dist(tg.PocketCenter()) < 4.0 {
+			t.Fatalf("backbone bead %d at %v intrudes into pocket", i, p)
+		}
+	}
+}
+
+func TestBackboneCompact(t *testing.T) {
+	tg := PLPro()
+	var far int
+	for _, p := range tg.Backbone() {
+		if p.Norm() > tg.SurfaceRadius()*1.5 {
+			far++
+		}
+	}
+	if far > BackboneLen/10 {
+		t.Fatalf("%d backbone beads far outside the body", far)
+	}
+}
+
+func BenchmarkTrueAffinity(b *testing.B) {
+	tg := PLPro()
+	m := chem.FromID(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tg.TrueAffinity(m)
+	}
+}
+
+func BenchmarkWellDepths(b *testing.B) {
+	tg := PLPro()
+	m := chem.FromID(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tg.WellDepths(m)
+	}
+}

@@ -1,0 +1,142 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/nn"
+	"impeccable/internal/xrand"
+)
+
+// CNNModel is the image-based ML1 variant matching the paper's actual
+// featurization (§5.1.2: 2-D depictions through a convolutional network,
+// chosen because images let the model exploit scale/rotation-robust
+// visual features chemists themselves read structure from). The
+// fingerprint MLP (Model) remains the throughput-oriented default; the
+// ablation benchmark compares the two.
+type CNNModel struct {
+	net    *nn.Sequential
+	rng    *xrand.RNG
+	lo, hi float64
+}
+
+// NewCNNModel builds the small convolutional surrogate:
+// 3×16×16 → conv(8,3×3) → ReLU → pool(2) → conv(16,3×3) → ReLU →
+// pool(2) → dense(64) → ReLU → dense(1) → sigmoid.
+func NewCNNModel(seed uint64) *CNNModel {
+	r := xrand.New(seed)
+	c1 := nn.NewConv2D(chem.ImageChannels, chem.ImageSize, chem.ImageSize, 8, 3, r) // 8×14×14
+	p1 := nn.NewMaxPool2D(8, c1.OutH(), c1.OutW(), 2)                               // 8×7×7
+	c2 := nn.NewConv2D(8, 7, 7, 16, 3, r)                                           // 16×5×5
+	p2 := nn.NewMaxPool2D(16, c2.OutH(), c2.OutW(), 2)                              // 16×2×2
+	return &CNNModel{
+		net: nn.NewSequential(
+			c1, &nn.ReLU{}, p1,
+			c2, &nn.ReLU{}, p2,
+			nn.NewDense(p2.OutDim(), 64, r), &nn.ReLU{},
+			nn.NewDense(64, 1, r), &nn.Sigmoid{},
+		),
+		rng: r,
+		lo:  -1, hi: 1,
+	}
+}
+
+func (m *CNNModel) normalize(raw float64) float64 {
+	t := (m.hi - raw) / (m.hi - m.lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// Fit trains the CNN on molecules and raw docking scores.
+func (m *CNNModel) Fit(mols []*chem.Molecule, scores []float64, cfg TrainConfig) (Report, error) {
+	if len(mols) != len(scores) {
+		return Report{}, fmt.Errorf("surrogate: %d molecules but %d scores", len(mols), len(scores))
+	}
+	if len(mols) < 4 {
+		return Report{}, fmt.Errorf("surrogate: too few samples (%d)", len(mols))
+	}
+	m.lo, m.hi = math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		m.lo = math.Min(m.lo, s)
+		m.hi = math.Max(m.hi, s)
+	}
+	if m.hi == m.lo {
+		m.hi = m.lo + 1
+	}
+	n := len(mols)
+	imgs := make([][]float64, n)
+	for i, mol := range mols {
+		imgs[i] = chem.Render2D(mol)
+	}
+	perm := m.rng.Perm(n)
+	nVal := int(cfg.ValFrac * float64(n))
+	if nVal >= n {
+		nVal = n / 2
+	}
+	valIdx, trainIdx := perm[:nVal], perm[nVal:]
+	makeBatch := func(idx []int) (*nn.Mat, *nn.Mat) {
+		x := nn.NewMat(len(idx), chem.ImageDim)
+		y := nn.NewMat(len(idx), 1)
+		for bi, i := range idx {
+			copy(x.Row(bi), imgs[i])
+			y.Set(bi, 0, m.normalize(scores[i]))
+		}
+		return x, y
+	}
+	opt := nn.NewAdam(cfg.LR)
+	rep := Report{Samples: n}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(trainIdx), func(i, j int) {
+			trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i]
+		})
+		var epochLoss float64
+		var nb int
+		for at := 0; at < len(trainIdx); at += batch {
+			end := at + batch
+			if end > len(trainIdx) {
+				end = len(trainIdx)
+			}
+			x, y := makeBatch(trainIdx[at:end])
+			m.net.ZeroGrad()
+			pred := m.net.Forward(x)
+			loss, grad := nn.MSELoss(pred, y)
+			m.net.Backward(grad)
+			opt.Step(m.net.Params())
+			epochLoss += loss
+			nb++
+			rep.Flops += 3 * m.net.ForwardFlops(end-at)
+		}
+		rep.TrainLoss = append(rep.TrainLoss, epochLoss/float64(nb))
+		if nVal > 0 {
+			x, y := makeBatch(valIdx)
+			pred := m.net.Forward(x)
+			vl, _ := nn.MSELoss(pred, y)
+			rep.ValLoss = append(rep.ValLoss, vl)
+		}
+	}
+	return rep, nil
+}
+
+// Predict scores molecules (higher = predicted better binder).
+func (m *CNNModel) Predict(mols []*chem.Molecule) []float64 {
+	x := nn.NewMat(len(mols), chem.ImageDim)
+	for i, mol := range mols {
+		copy(x.Row(i), chem.Render2D(mol))
+	}
+	out := m.net.Forward(x)
+	res := make([]float64, len(mols))
+	for i := range res {
+		res[i] = out.At(i, 0)
+	}
+	return res
+}

@@ -1,0 +1,98 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"impeccable/internal/chem"
+)
+
+func TestRender2DProperties(t *testing.T) {
+	img := chem.Render2D(chem.FromID(5))
+	if len(img) != chem.ImageDim {
+		t.Fatalf("image length = %d", len(img))
+	}
+	var sum float64
+	for _, v := range img {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		t.Fatal("blank depiction")
+	}
+	// Determinism.
+	img2 := chem.Render2D(chem.FromID(5))
+	for i := range img {
+		if img[i] != img2[i] {
+			t.Fatal("rendering not deterministic")
+		}
+	}
+	// Distinct molecules render differently.
+	other := chem.Render2D(chem.FromID(6))
+	same := true
+	for i := range img {
+		if img[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct molecules rendered identically")
+	}
+}
+
+func TestCNNModelLearns(t *testing.T) {
+	mols, scores := syntheticScores(700, 21)
+	m := NewCNNModel(3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 10
+	cfg.LR = 2e-3
+	rep, err := m.Fit(mols, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rep.TrainLoss[0], rep.TrainLoss[len(rep.TrainLoss)-1]
+	if last >= first {
+		t.Fatalf("CNN loss did not decrease: %v -> %v", first, last)
+	}
+	// Predictions in range and better than random ordering.
+	testMols, testScores := syntheticScores(500, 77)
+	pred := m.Predict(testMols)
+	for _, p := range pred {
+		if p < 0 || p > 1 {
+			t.Fatalf("prediction out of range: %v", p)
+		}
+	}
+	if rho := Spearman(pred, testScores); rho < 0.05 {
+		t.Fatalf("CNN Spearman = %v, no signal", rho)
+	}
+}
+
+func TestCNNFitErrors(t *testing.T) {
+	m := NewCNNModel(1)
+	if _, err := m.Fit(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("no error on empty set")
+	}
+}
+
+func BenchmarkRender2D(b *testing.B) {
+	m := chem.FromID(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = chem.Render2D(m)
+	}
+}
+
+func BenchmarkCNNPredict256(b *testing.B) {
+	m := NewCNNModel(1)
+	mols := make([]*chem.Molecule, 256)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(mols)
+	}
+}

@@ -1,0 +1,245 @@
+package surrogate
+
+import (
+	"math"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+	"impeccable/internal/xrand"
+)
+
+// syntheticScores builds a training set whose targets play the role of
+// docking scores: ground-truth affinity plus docking-like noise. (Using
+// the true oracle keeps the test fast; the integration tests and benches
+// use real docking output.)
+func syntheticScores(n int, seed uint64) ([]*chem.Molecule, []float64) {
+	tg := receptor.PLPro()
+	r := xrand.New(seed)
+	mols := make([]*chem.Molecule, n)
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		mols[i] = chem.FromID(r.Uint64())
+		scores[i] = tg.TrueAffinity(mols[i]) + r.Norm(0, 1.5)
+	}
+	return mols, scores
+}
+
+func TestFitReducesLoss(t *testing.T) {
+	mols, scores := syntheticScores(2000, 1)
+	m := NewModel(7)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 15
+	rep, err := m.Fit(mols, scores, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rep.TrainLoss[0], rep.TrainLoss[len(rep.TrainLoss)-1]
+	if last >= first {
+		t.Fatalf("training loss did not decrease: %v -> %v", first, last)
+	}
+	if len(rep.ValLoss) != cfg.Epochs {
+		t.Fatalf("validation loss entries = %d", len(rep.ValLoss))
+	}
+	if rep.Flops <= 0 {
+		t.Fatal("flops accounting missing")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := NewModel(1)
+	if _, err := m.Fit(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("no error for empty training set")
+	}
+	mols, _ := syntheticScores(10, 2)
+	if _, err := m.Fit(mols, make([]float64, 3), DefaultTrainConfig()); err == nil {
+		t.Fatal("no error for length mismatch")
+	}
+}
+
+func TestSurrogateEnriches(t *testing.T) {
+	// The core ML1 claim: after training, the predicted top of the
+	// library is strongly enriched in true top compounds.
+	mols, scores := syntheticScores(3000, 3)
+	m := NewModel(11)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	if _, err := m.Fit(mols, scores, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on held-out molecules.
+	testMols, testScores := syntheticScores(2000, 99)
+	pred := m.Predict(testMols)
+	ef := EnrichmentFactor(pred, testScores, 0.05)
+	if ef < 2 {
+		t.Fatalf("enrichment factor at 5%% = %v, want >= 2", ef)
+	}
+	t.Logf("EF(5%%) = %.2f", ef)
+	rho := Spearman(pred, testScores)
+	if rho < 0.2 {
+		t.Fatalf("Spearman = %v, want >= 0.2", rho)
+	}
+	t.Logf("Spearman = %.3f", rho)
+}
+
+func TestPredictIDsMatchesSerial(t *testing.T) {
+	mols, scores := syntheticScores(500, 4)
+	m := NewModel(5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	if _, err := m.Fit(mols, scores, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 300)
+	r := xrand.New(6)
+	for i := range ids {
+		ids[i] = r.Uint64()
+	}
+	serialMols := make([]*chem.Molecule, len(ids))
+	for i, id := range ids {
+		serialMols[i] = chem.FromID(id)
+	}
+	want := m.Predict(serialMols)
+	got := m.PredictIDs(ids, 4)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("parallel prediction diverges at %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	m := NewModel(1)
+	mols, _ := syntheticScores(50, 7)
+	for i, p := range m.Predict(mols) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("prediction %d = %v outside [0,1]", i, p)
+		}
+	}
+}
+
+func TestTopKBottomK(t *testing.T) {
+	s := []float64{3, 1, 4, 1.5, 9}
+	top := TopK(s, 2)
+	if top[0] != 4 || top[1] != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+	bot := BottomK(s, 2)
+	if bot[0] != 1 || bot[1] != 3 {
+		t.Fatalf("BottomK = %v", bot)
+	}
+	if got := TopK(s, 99); len(got) != len(s) {
+		t.Fatalf("TopK overflow len = %d", len(got))
+	}
+}
+
+func TestRESPerfectModel(t *testing.T) {
+	// A perfect model (pred = -truth) recovers everything: RES ≡ 1 on
+	// the diagonal and above.
+	n := 1000
+	truth := make([]float64, n)
+	pred := make([]float64, n)
+	r := xrand.New(8)
+	for i := 0; i < n; i++ {
+		truth[i] = r.NormFloat64()
+		pred[i] = -truth[i]
+	}
+	res := ComputeRES(pred, truth, []float64{0.01, 0.1}, []float64{0.01, 0.1})
+	if res.At(0.01, 0.01) != 1 || res.At(0.1, 0.1) != 1 {
+		t.Fatalf("perfect model RES diagonal != 1: %v", res.R)
+	}
+	// Perfect model, small allocation, large true-top: recall bounded by
+	// alpha/beta.
+	if got := res.At(0.01, 0.1); math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("RES(0.01,0.1) = %v, want ~0.1", got)
+	}
+}
+
+func TestRESRandomModel(t *testing.T) {
+	// A random model recovers ~alpha of any true-top set.
+	n := 20000
+	truth := make([]float64, n)
+	pred := make([]float64, n)
+	r := xrand.New(9)
+	for i := 0; i < n; i++ {
+		truth[i] = r.NormFloat64()
+		pred[i] = r.NormFloat64()
+	}
+	res := ComputeRES(pred, truth, []float64{0.1}, []float64{0.01})
+	if got := res.At(0.1, 0.01); math.Abs(got-0.1) > 0.05 {
+		t.Fatalf("random model RES(0.1, 0.01) = %v, want ~0.1", got)
+	}
+}
+
+func TestRESMonotoneInAlpha(t *testing.T) {
+	// Growing the allocation can only recover more of the true top.
+	mols, scores := syntheticScores(2000, 10)
+	m := NewModel(2)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	if _, err := m.Fit(mols, scores, cfg); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(mols)
+	alphas := []float64{0.001, 0.01, 0.1, 1}
+	res := ComputeRES(pred, scores, alphas, []float64{0.01})
+	for i := 1; i < len(alphas); i++ {
+		if res.R[i][0] < res.R[i-1][0] {
+			t.Fatalf("RES not monotone in alpha: %v", res.R)
+		}
+	}
+	if res.R[len(alphas)-1][0] != 1 {
+		t.Fatalf("RES at alpha=1 must be 1, got %v", res.R[len(alphas)-1][0])
+	}
+}
+
+func TestSpearmanKnown(t *testing.T) {
+	// pred descending-good vs truth ascending-good: exact inverse order
+	// = perfect agreement.
+	pred := []float64{5, 4, 3, 2, 1}
+	truth := []float64{1, 2, 3, 4, 5}
+	if rho := Spearman(pred, truth); math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("Spearman perfect = %v", rho)
+	}
+	// Same order = perfect disagreement.
+	if rho := Spearman(truth, truth); math.Abs(rho+1) > 1e-12 {
+		t.Fatalf("Spearman anti = %v", rho)
+	}
+}
+
+func TestEnrichmentFactorPerfect(t *testing.T) {
+	n := 1000
+	truth := make([]float64, n)
+	pred := make([]float64, n)
+	r := xrand.New(12)
+	for i := 0; i < n; i++ {
+		truth[i] = r.NormFloat64()
+		pred[i] = -truth[i]
+	}
+	if ef := EnrichmentFactor(pred, truth, 0.01); math.Abs(ef-100) > 1e-9 {
+		t.Fatalf("perfect EF(1%%) = %v, want 100", ef)
+	}
+}
+
+func BenchmarkPredictBatch256(b *testing.B) {
+	m := NewModel(1)
+	mols := make([]*chem.Molecule, 256)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(mols)
+	}
+}
+
+func BenchmarkFitEpoch(b *testing.B) {
+	mols, scores := syntheticScores(512, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewModel(1)
+		_, _ = m.Fit(mols, scores, cfg)
+	}
+}

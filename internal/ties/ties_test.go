@@ -1,0 +1,132 @@
+package ties
+
+import (
+	"math"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+	"impeccable/internal/xrand"
+)
+
+// fastConfig shrinks the windows/durations for unit tests.
+func fastConfig() Config {
+	cfg := Default()
+	cfg.Windows = 5
+	cfg.Replicas = 3
+	cfg.EquilSteps = 30
+	cfg.ProdSteps = 120
+	cfg.MinimizeIters = 20
+	return cfg
+}
+
+func TestIdentityTransformIsZero(t *testing.T) {
+	// A → A must give ΔΔG = 0 exactly (∂U/∂λ ≡ 0).
+	tg := receptor.PLPro()
+	m := chem.FromID(5)
+	res := Compute(tg, m, m, fastConfig(), 1)
+	if res.DeltaDeltaG != 0 {
+		t.Fatalf("identity ΔΔG = %v", res.DeltaDeltaG)
+	}
+	for _, p := range res.Profile {
+		if p.Mean != 0 || p.StdErr != 0 {
+			t.Fatalf("identity profile nonzero at λ=%v: %+v", p.Lambda, p)
+		}
+	}
+}
+
+func TestAntisymmetry(t *testing.T) {
+	// ΔΔG(A→B) ≈ −ΔΔG(B→A). The two legs simulate different geometries
+	// (A's vs B's conformer), so equality is statistical, not exact.
+	tg := receptor.PLPro()
+	a, b := chem.FromID(11), chem.FromID(12)
+	ab := Compute(tg, a, b, fastConfig(), 1)
+	ba := Compute(tg, b, a, fastConfig(), 1)
+	sum := ab.DeltaDeltaG + ba.DeltaDeltaG
+	tol := 3*(ab.StdErr+ba.StdErr) + 1.5
+	if math.Abs(sum) > tol {
+		t.Fatalf("antisymmetry violated: %v + %v = %v (tol %v)",
+			ab.DeltaDeltaG, ba.DeltaDeltaG, sum, tol)
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	tg := receptor.PLPro()
+	res := Compute(tg, chem.FromID(3), chem.FromID(4), fastConfig(), 2)
+	if len(res.Profile) != 5 {
+		t.Fatalf("profile windows = %d", len(res.Profile))
+	}
+	if res.Profile[0].Lambda != 0 || res.Profile[4].Lambda != 1 {
+		t.Fatalf("λ grid endpoints wrong: %v .. %v",
+			res.Profile[0].Lambda, res.Profile[4].Lambda)
+	}
+	for _, p := range res.Profile {
+		if math.IsNaN(p.Mean) || p.StdErr < 0 {
+			t.Fatalf("bad profile point %+v", p)
+		}
+	}
+	if res.Steps != int64(5*3*(30+120)) {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+	if res.Flops <= 0 {
+		t.Fatal("flops missing")
+	}
+}
+
+func TestSignTracksGroundTruth(t *testing.T) {
+	// For pairs with a large true affinity gap, the TI sign should agree
+	// with the oracle most of the time (alchemical methods sit at the
+	// top of the paper's accuracy ladder).
+	tg := receptor.PLPro()
+	r := xrand.New(7)
+	agree, total := 0, 0
+	cfg := fastConfig()
+	for total < 8 {
+		a, b := chem.FromID(r.Uint64()), chem.FromID(r.Uint64())
+		gap := tg.TrueAffinity(b) - tg.TrueAffinity(a)
+		if math.Abs(gap) < 4 { // only clearly separated pairs
+			continue
+		}
+		res := Compute(tg, a, b, cfg, uint64(total))
+		if (res.DeltaDeltaG < 0) == (gap < 0) {
+			agree++
+		}
+		total++
+	}
+	if agree < 6 {
+		t.Fatalf("TI sign agreed with truth in only %d/%d separated pairs", agree, total)
+	}
+	t.Logf("sign agreement: %d/%d", agree, total)
+}
+
+func TestDeterministic(t *testing.T) {
+	tg := receptor.PLPro()
+	a, b := chem.FromID(21), chem.FromID(22)
+	r1 := Compute(tg, a, b, fastConfig(), 9)
+	r2 := Compute(tg, a, b, fastConfig(), 9)
+	if r1.DeltaDeltaG != r2.DeltaDeltaG {
+		t.Fatalf("not deterministic: %v vs %v", r1.DeltaDeltaG, r2.DeltaDeltaG)
+	}
+}
+
+func TestNodeHoursOrderOfMagnitude(t *testing.T) {
+	// Table 2: TI ≈ 640 node-hours/ligand, ~128× ESMACS-FG. With the
+	// default protocol: 11 windows × 5 replicas × 6 ns-units × 64 nodes.
+	cfg := Default()
+	steps := int64(cfg.Windows * cfg.Replicas * (cfg.EquilSteps + cfg.ProdSteps))
+	nh := NodeHours(steps)
+	if nh < 100 || nh > 1500 {
+		t.Fatalf("TI node-hours = %v, want same order as 640", nh)
+	}
+	t.Logf("TI node-hours per transformation: %.0f (paper: 640)", nh)
+}
+
+func BenchmarkComputeFast(b *testing.B) {
+	tg := receptor.PLPro()
+	x, y := chem.FromID(1), chem.FromID(2)
+	cfg := fastConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(tg, x, y, cfg, 1)
+	}
+}
