@@ -1,0 +1,70 @@
+// Command impeccable-server runs the IMPECCABLE campaign engine as a
+// long-lived, multi-tenant HTTP service: submitted campaigns queue onto
+// a bounded worker pool and share a sharded docking-score cache, so
+// overlapping submissions dedupe their most expensive evaluations.
+//
+// Usage:
+//
+//	impeccable-server [-addr :8080] [-workers N] [-campaign-workers N]
+//	                  [-shards N] [-max-cache N]
+//
+// Quickstart:
+//
+//	impeccable-server &
+//	curl -X POST localhost:8080/api/v1/campaigns -d \
+//	  '{"target":"PLPro","library_size":1000,"train_size":200,"fast_protocols":true}'
+//	curl localhost:8080/api/v1/campaigns/job-000001
+//	curl localhost:8080/api/v1/campaigns/job-000001/result
+//	curl localhost:8080/api/v1/cache
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"impeccable/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent campaigns (0 = half of GOMAXPROCS)")
+	campaignWorkers := flag.Int("campaign-workers", 0, "worker pool width inside each campaign (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 64, "cache shard count")
+	maxCache := flag.Int("max-cache", 0, "score-cache entry bound (0 = unbounded)")
+	flag.Parse()
+
+	svc := service.NewService(service.Options{
+		Workers:         *workers,
+		CampaignWorkers: *campaignWorkers,
+		CacheShards:     *shards,
+		MaxCacheEntries: *maxCache,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("impeccable-server listening on %s (targets: %v)", *addr, svc.Targets())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+	}
+	svc.Shutdown()
+}

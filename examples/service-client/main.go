@@ -1,0 +1,106 @@
+// Service client: start the campaign service in-process, then act as two
+// tenants submitting overlapping campaigns over its HTTP API. The second
+// tenant's campaign is served largely from the shared docking-score
+// cache — the printout shows the live job states, the eval counts of
+// both campaigns and the cache hit rate.
+//
+//	go run ./examples/service-client
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"impeccable"
+)
+
+func main() {
+	svc := impeccable.NewService(impeccable.ServiceOptions{Workers: 2})
+	defer svc.Shutdown()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	fmt.Printf("campaign service listening at %s\n\n", srv.URL)
+
+	req := impeccable.SubmitRequest{
+		Target:        "PLPro",
+		LibrarySize:   800,
+		TrainSize:     160,
+		CGCount:       4,
+		TopCompounds:  2,
+		OutliersPer:   2,
+		Seed:          1,
+		FastProtocols: true,
+	}
+
+	fmt.Println("tenant A submits a PLPro campaign (cold cache)...")
+	sumA := runJob(srv.URL, req)
+	fmt.Println("tenant B submits the same screen (warm cache)...")
+	sumB := runJob(srv.URL, req)
+
+	fmt.Printf("\ntenant A spent %d docking evaluations (%d cache hits)\n",
+		sumA.Funnel.DockEvals, sumA.Funnel.DockCacheHits)
+	fmt.Printf("tenant B spent %d docking evaluations (%d cache hits)\n",
+		sumB.Funnel.DockEvals, sumB.Funnel.DockCacheHits)
+	if sumA.Funnel.DockEvals > 0 {
+		fmt.Printf("shared cache saved tenant B %.0f%% of the docking work\n",
+			100*(1-float64(sumB.Funnel.DockEvals)/float64(sumA.Funnel.DockEvals)))
+	}
+
+	var cache struct {
+		Scores   impeccable.CacheStats `json:"scores"`
+		Features impeccable.CacheStats `json:"features"`
+	}
+	getJSON(srv.URL+"/api/v1/cache", &cache)
+	fmt.Printf("\nscore cache:   %d entries, hit rate %.0f%%\n",
+		cache.Scores.Entries, 100*cache.Scores.HitRate)
+	fmt.Printf("feature cache: %d entries, hit rate %.0f%%\n",
+		cache.Features.Entries, 100*cache.Features.HitRate)
+}
+
+// runJob submits one campaign and polls its status until done.
+func runJob(base string, req impeccable.SubmitRequest) impeccable.ResultSummary {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snap impeccable.JobSnapshot
+	decode(resp, &snap)
+	start := time.Now()
+	lastStage := ""
+	for !snap.State.Terminal() {
+		time.Sleep(100 * time.Millisecond)
+		getJSON(base+"/api/v1/campaigns/"+snap.ID, &snap)
+		if snap.Stage != lastStage {
+			fmt.Printf("  %-10s %-10s %3.0f%%\n", snap.ID, snap.Stage, 100*snap.Progress)
+			lastStage = snap.Stage
+		}
+	}
+	if snap.State != impeccable.JobDone {
+		log.Fatalf("job %s ended %s: %s", snap.ID, snap.State, snap.Error)
+	}
+	fmt.Printf("  %-10s done in %.1fs\n", snap.ID, time.Since(start).Seconds())
+	var sum impeccable.ResultSummary
+	getJSON(base+"/api/v1/campaigns/"+snap.ID+"/result", &sum)
+	return sum
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

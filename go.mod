@@ -1,0 +1,3 @@
+module impeccable
+
+go 1.24

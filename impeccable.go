@@ -21,6 +21,7 @@ import (
 	"impeccable/internal/campaign"
 	"impeccable/internal/chem"
 	"impeccable/internal/receptor"
+	"impeccable/internal/service"
 )
 
 // Re-exported core types. Aliases give external callers full access to
@@ -106,3 +107,36 @@ func StandardLibraries(seed uint64, scale float64) (ozd, ord *Library) {
 
 // MoleculeFromID deterministically materializes a molecule.
 func MoleculeFromID(id uint64) *Molecule { return chem.FromID(id) }
+
+// Campaign service types: the long-lived multi-tenant evaluation server
+// (job queue + bounded worker pool + sharded score cache + HTTP API).
+type (
+	// Service is a long-lived multi-tenant campaign evaluation service.
+	Service = service.Service
+	// ServiceOptions configures NewService.
+	ServiceOptions = service.Options
+	// SubmitRequest describes one campaign submission.
+	SubmitRequest = service.SubmitRequest
+	// JobSnapshot is the externally visible status of a submitted job.
+	JobSnapshot = service.JobSnapshot
+	// JobState is the lifecycle state of a submitted job.
+	JobState = service.JobState
+	// ResultSummary is the JSON-friendly projection of a campaign result.
+	ResultSummary = service.ResultSummary
+	// CacheStats snapshots the shared caches' effectiveness.
+	CacheStats = service.CacheStats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = service.StateQueued
+	JobRunning  = service.StateRunning
+	JobDone     = service.StateDone
+	JobFailed   = service.StateFailed
+	JobCanceled = service.StateCanceled
+)
+
+// NewService builds and starts a campaign service; call Shutdown when
+// done. Serve its HTTP API with http.ListenAndServe(addr, s.Handler())
+// or embed it in-process via Submit/Status/Result.
+func NewService(opts ServiceOptions) *Service { return service.NewService(opts) }

@@ -26,6 +26,9 @@ func fastPublicConfig() impeccable.Config {
 }
 
 func TestPublicAPICampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	res, err := impeccable.RunCampaign(fastPublicConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +84,9 @@ func TestPublicAPITable2(t *testing.T) {
 }
 
 func TestPublicAPIEnTKPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	res, err := impeccable.RunCampaignViaEnTK(fastPublicConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +97,9 @@ func TestPublicAPIEnTKPath(t *testing.T) {
 }
 
 func TestPublicAPIIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := fastPublicConfig()
 	cfg.LibrarySize = 600
 	cfg.TrainSize = 120

@@ -149,6 +149,9 @@ func TestEncodeTranslationInvariant(t *testing.T) {
 }
 
 func TestTrainingReducesReconLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := DefaultConfig(16)
 	cfg.LatentDim = 8
 	cfg.LR = 3e-4
@@ -164,6 +167,9 @@ func TestTrainingReducesReconLoss(t *testing.T) {
 }
 
 func TestLatentTracksStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// After training on a one-mode family, the latent embedding must
 	// separate extreme deformations: correlation between the deformation
 	// amplitude and the first principal latent direction should be

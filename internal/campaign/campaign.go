@@ -13,6 +13,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,50 @@ type Config struct {
 	// DockParams defaults to dock.DefaultParams with Runs reduced to 2
 	// for throughput.
 	DockParams *dock.Params
+
+	// DockCache, when non-nil, memoizes S1 docking results by molecule
+	// structure so overlapping campaigns against the same target skip
+	// repeated LGA runs (the service layer injects a sharded shared
+	// cache here).
+	DockCache dock.ScoreCache
+
+	// Features, when non-nil, supplies memoized feature vectors for the
+	// ML1 library screen instead of materializing each molecule.
+	Features surrogate.FeatureSource
+
+	// Cancel, when non-nil, aborts the campaign between stages (and
+	// between ligands inside the docking batches) once closed; Run then
+	// returns ErrCanceled.
+	Cancel <-chan struct{}
+
+	// Progress, when non-nil, is called at stage boundaries with the
+	// stage name and the approximate completed fraction of the campaign.
+	// It must be safe to call from the campaign goroutine.
+	Progress func(stage string, frac float64)
+}
+
+// ErrCanceled is returned by Run/RunWithPool when Config.Cancel closes
+// before the campaign completes.
+var ErrCanceled = errors.New("campaign: canceled")
+
+// canceled reports whether the config's cancel channel has closed.
+func (cfg *Config) canceled() bool {
+	if cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// progress reports a stage boundary to the optional observer.
+func (cfg *Config) progress(stage string, frac float64) {
+	if cfg.Progress != nil {
+		cfg.Progress(stage, frac)
+	}
 }
 
 // DefaultConfig returns a laptop-scale configuration preserving the
@@ -75,6 +120,15 @@ type FunnelStats struct {
 	CG       int // S3-CG count
 	S2Frames int // frames aggregated by S2
 	FG       int // S3-FG conformations
+
+	// DockEvals is the total energy evaluations actually spent in S1
+	// (training + selected docks). Cache hits contribute zero, so a
+	// campaign warmed by a shared score cache shows a lower count than
+	// the cold campaign that populated it.
+	DockEvals int64
+	// DockCacheHits counts S1 docks served from the injected score
+	// cache without spending any evaluations.
+	DockCacheHits int
 }
 
 // TopComparison pairs the CG and FG estimates of one top compound
@@ -152,6 +206,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	// --- Offline docking of a training sample (pre-training data for
 	// ML1, §6.1.1: "pre-trained on 500,000 randomly selected samples
 	// from the OZD ligand dataset"). ---
+	cfg.progress("s1-train", 0.02)
 	eng := dock.NewEngine(cfg.Target, cfg.Seed^0xD0C)
 	if cfg.DockParams != nil {
 		eng.Params = *cfg.DockParams
@@ -159,19 +214,29 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		eng.Params.Runs = 2
 	}
 	eng.Workers = cfg.Workers
+	eng.Cache = cfg.DockCache
+	eng.Cancel = cfg.Cancel
 	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
 	trainMols := materialize(trainIDs)
 	trainDocks := eng.DockBatch(trainMols)
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
 	trainScores := make([]float64, len(trainDocks))
 	var dockFlops int64
 	for i, d := range trainDocks {
 		trainScores[i] = d.Score
 		dockFlops += d.Flops
+		res.Funnel.DockEvals += d.Evals
+		if d.Cached {
+			res.Funnel.DockCacheHits++
+		}
 	}
 	res.Counter.Add("S1", dockFlops, 0, int64(len(trainDocks)))
 
 	// --- ML1 training: this iteration's sample plus the accumulated
 	// active-learning pool. ---
+	cfg.progress("ml1-train", 0.15)
 	fitMols, fitScores := trainMols, trainScores
 	if pool != nil && pool.Size() > 0 {
 		fitMols = append(append([]*chem.Molecule{}, pool.Mols...), trainMols...)
@@ -188,11 +253,15 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	res.Counter.Add("ML1-train", rep.Flops, 0, int64(rep.Samples))
 
 	// --- ML1 inference over the library. ---
+	cfg.progress("ml1-screen", 0.30)
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
 	ids := make([]uint64, lib.Size())
 	for i := range ids {
 		ids[i] = lib.IDAt(i)
 	}
-	preds := model.PredictIDs(ids, cfg.Workers)
+	preds := model.PredictIDsFrom(ids, cfg.Workers, cfg.Features)
 	res.Funnel.Screened = len(ids)
 	res.Counter.Add("ML1", model.InferenceFlops(len(ids)), 0, int64(len(ids)))
 
@@ -218,11 +287,19 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	for i, j := range dockIdx {
 		dockMols[i] = chem.FromID(ids[j])
 	}
+	cfg.progress("s1-dock", 0.45)
 	res.DockResults = eng.DockBatch(dockMols)
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
 	res.Funnel.Docked = len(res.DockResults) + len(trainDocks)
 	dockFlops = 0
 	for _, d := range res.DockResults {
 		dockFlops += d.Flops
+		res.Funnel.DockEvals += d.Evals
+		if d.Cached {
+			res.Funnel.DockCacheHits++
+		}
 	}
 	res.Counter.Add("S1", dockFlops, 0, int64(len(res.DockResults)))
 
@@ -254,6 +331,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		cgMols[i] = candidates[j]
 		cgPoses[i] = dockedPose(cfg.Target, cgMols[i], res.DockResults[bestDocked[j]])
 	}
+	cfg.progress("s3-cg", 0.60)
 	runner := esmacs.NewRunner(cfg.Target, cfg.Seed^0xE5)
 	runner.Workers = cfg.Workers
 	runner.KeepTrajectories = true
@@ -262,6 +340,9 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		cgProto = fastProto(cgProto, 40, 200)
 	}
 	for i, m := range cgMols {
+		if cfg.canceled() {
+			return nil, ErrCanceled
+		}
 		est := runner.Estimate(m, cgPoses[i], cgProto)
 		res.CGEstimates = append(res.CGEstimates, est)
 		res.Counter.Add("S3-CG", est.Flops, 0, 1)
@@ -269,6 +350,10 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	res.Funnel.CG = len(res.CGEstimates)
 
 	// --- S2: 3D-AAE + LOF over the CG ensembles of the top compounds. ---
+	cfg.progress("s2", 0.80)
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
 	sort.Slice(res.CGEstimates, func(a, b int) bool {
 		return res.CGEstimates[a].DeltaG < res.CGEstimates[b].DeltaG
 	})
@@ -290,6 +375,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	res.Counter.Add("S2", s2rep.Flops, 0, int64(nTopC))
 
 	// --- S3-FG from the S2-selected outlier conformations. ---
+	cfg.progress("s3-fg", 0.90)
 	fgProto := esmacs.FG()
 	if cfg.FastProtocols {
 		fgProto = fastProto(fgProto, 80, 500)
@@ -300,6 +386,9 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	}
 	bestFG := map[uint64]esmacs.Estimate{}
 	for _, sel := range s2rep.Selections {
+		if cfg.canceled() {
+			return nil, ErrCanceled
+		}
 		est := runner.Estimate(chem.FromID(sel.Ref.MolID), sel.Ligand, fgProto)
 		res.FGEstimates = append(res.FGEstimates, est)
 		res.Counter.Add("S3-FG", est.Flops, 0, 1)
@@ -323,6 +412,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		})
 	}
 	res.ScientificYield = yield(cfg.Target, ids, cgMols)
+	cfg.progress("done", 1.0)
 	return res, nil
 }
 

@@ -25,6 +25,9 @@ func fastConfig() Config {
 }
 
 func TestCampaignEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	res, err := Run(fastConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +65,9 @@ func TestCampaignEndToEnd(t *testing.T) {
 }
 
 func TestCampaignFGRefinesCG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// Fig. 6: FG estimates from S2-selected outlier conformations should
 	// be lower (better) than CG for most of the top compounds.
 	res, err := Run(fastConfig())
@@ -81,6 +87,9 @@ func TestCampaignFGRefinesCG(t *testing.T) {
 }
 
 func TestCampaignEnrichesOverRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// Scientific performance: the CG set must be enriched in true
 	// top-1 % binders far beyond random expectation (0.01).
 	res, err := Run(fastConfig())
@@ -106,6 +115,9 @@ func TestCampaignErrors(t *testing.T) {
 }
 
 func TestCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := fastConfig()
 	cfg.Workers = 1
 	a, err := Run(cfg)

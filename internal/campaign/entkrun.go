@@ -62,6 +62,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 		eng.Params.Runs = 2
 	}
 	eng.Workers = 1 // the pilot provides the parallelism
+	eng.Cache = cfg.DockCache
 
 	var mu sync.Mutex // guards the shared state below across task Fns
 	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
@@ -83,6 +84,10 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 		fgProto = fastProto(fgProto, 80, 500)
 	}
 
+	// ESMACS ensembles prefer 2 cores but must stay placeable on small
+	// hosts — an over-declared task is unsatisfiable and fails fatally.
+	esCores := min(2, cores)
+
 	pipe := entk.NewPipeline("impeccable")
 
 	// --- Stage 1: offline docking of the training sample, chunked. ---
@@ -98,9 +103,16 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 			Name: fmt.Sprintf("dock-train-%d", at), Cores: 1, Component: "S1",
 			Fn: func() {
 				for i := at; i < end; i++ {
+					if cfg.canceled() {
+						return
+					}
 					d := eng.DockOne(trainMols[i])
 					mu.Lock()
 					trainScores[i] = d.Score
+					res.Funnel.DockEvals += d.Evals
+					if d.Cached {
+						res.Funnel.DockCacheHits++
+					}
 					mu.Unlock()
 				}
 			},
@@ -113,6 +125,10 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 	ml1.AddTask(&entk.Task{
 		Name: "train+screen", Cores: cores, Component: "ML1",
 		Fn: func() {
+			cfg.progress("ml1-train", 0.15)
+			if cfg.canceled() {
+				return
+			}
 			rep, err := model.Fit(trainMols, trainScores, surrogate.DefaultTrainConfig())
 			if err != nil {
 				mu.Lock()
@@ -128,7 +144,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 			for i := range ids {
 				ids[i] = lib.IDAt(i)
 			}
-			preds := model.PredictIDs(ids, cores)
+			preds := model.PredictIDsFrom(ids, cores, cfg.Features)
 			nTop := max(1, int(cfg.TopFrac*float64(len(ids))))
 			sel := map[int]bool{}
 			for _, i := range surrogate.TopK(preds, nTop) {
@@ -156,6 +172,10 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 	// --- Stage 3: production docking. Tasks are added by the ML1
 	// stage's PostExec (the selection is only known at runtime). ---
 	ml1.PostExec = func(p *entk.Pipeline) {
+		if cfg.canceled() {
+			return // stop appending stages; Wait drains what's in flight
+		}
+		cfg.progress("s1-dock", 0.45)
 		s1 := entk.NewStage("S1")
 		mu.Lock()
 		mols := dockMols
@@ -171,6 +191,9 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 				Name: fmt.Sprintf("dock-%d", at), Cores: 1, Component: "S1",
 				Fn: func() {
 					for i := at; i < end; i++ {
+						if cfg.canceled() {
+							return
+						}
 						results[i] = eng.DockOne(mols[i])
 					}
 				},
@@ -178,9 +201,19 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 		}
 		// After docking: diversity selection feeds the CG stage.
 		s1.PostExec = func(p *entk.Pipeline) {
+			if cfg.canceled() {
+				return
+			}
+			cfg.progress("s3-cg", 0.60)
 			mu.Lock()
 			res.DockResults = results
 			res.Funnel.Docked = len(results) + len(trainMols)
+			for _, d := range results {
+				res.Funnel.DockEvals += d.Evals
+				if d.Cached {
+					res.Funnel.DockCacheHits++
+				}
+			}
 			best := surrogate.BottomK(scoresOf(results), min(cfg.CGCount*3, len(results)))
 			cands := make([]*chem.Molecule, len(best))
 			for i, j := range best {
@@ -200,13 +233,17 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 			for i := range localCG {
 				i := i
 				cg.AddTask(&entk.Task{
-					Name: fmt.Sprintf("esmacs-cg-%d", i), Cores: 2, Component: "S3-CG",
+					Name: fmt.Sprintf("esmacs-cg-%d", i), Cores: esCores, Component: "S3-CG",
 					Fn: func() {
 						ests[i] = runner.Estimate(localCG[i], localPoses[i], cgProto)
 					},
 				})
 			}
 			cg.PostExec = func(p *entk.Pipeline) {
+				if cfg.canceled() {
+					return
+				}
+				cfg.progress("s2", 0.80)
 				mu.Lock()
 				res.CGEstimates = ests
 				sort.Slice(res.CGEstimates, func(a, b int) bool {
@@ -241,6 +278,10 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 				// Adaptive hand-off: the FG stage is appended only after
 				// S2 produced its selections (§5.2.1 adaptivity).
 				s2.PostExec = func(p *entk.Pipeline) {
+					if cfg.canceled() {
+						return
+					}
+					cfg.progress("s3-fg", 0.90)
 					mu.Lock()
 					rep := res.S2Report
 					mu.Unlock()
@@ -252,7 +293,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 					for i, sel := range rep.Selections {
 						i, sel := i, sel
 						fg.AddTask(&entk.Task{
-							Name: fmt.Sprintf("esmacs-fg-%d", i), Cores: 2, Component: "S3-FG",
+							Name: fmt.Sprintf("esmacs-fg-%d", i), Cores: esCores, Component: "S3-FG",
 							Fn: func() {
 								fgEsts[i] = runner.Estimate(
 									chem.FromID(sel.Ref.MolID), sel.Ligand, fgProto)
@@ -293,11 +334,22 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 	}
 
 	pipe.AddStage(s1train).AddStage(ml1)
+	cfg.progress("s1-train", 0.02)
 	am.Run(pipe)
 	am.Wait()
 
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
 	if fitErr != nil {
 		return nil, fmt.Errorf("campaign: entk run: %w", fitErr)
+	}
+	// A task the pilot rejected as unsatisfiable "completed" without
+	// running its Fn; surfacing it here keeps its zero-valued output
+	// from masquerading as science.
+	if failed := pl.FailedTasks(); len(failed) > 0 {
+		return nil, fmt.Errorf("campaign: entk run: %d tasks failed (first: %s: %v)",
+			len(failed), failed[0].Name, failed[0].Err)
 	}
 	ids := make([]uint64, lib.Size())
 	for i := range ids {
@@ -305,5 +357,6 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 	}
 	res.ScientificYield = yield(cfg.Target, ids, cgMols)
 	res.PilotTrace = pl.UtilizationTrace()
+	cfg.progress("done", 1.0)
 	return res, nil
 }

@@ -3,6 +3,9 @@ package campaign
 import "testing"
 
 func TestRunViaEnTKEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := fastConfig()
 	res, err := RunViaEnTK(cfg)
 	if err != nil {
@@ -36,6 +39,9 @@ func TestRunViaEnTKEndToEnd(t *testing.T) {
 }
 
 func TestRunViaEnTKMatchesDirectFunnelShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// The EnTK path and the direct path must agree on the funnel shape
 	// (they share engines but schedule differently, so scores may differ
 	// only where ordering-dependent RNG streams diverge — the structure

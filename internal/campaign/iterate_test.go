@@ -3,6 +3,9 @@ package campaign
 import "testing"
 
 func TestRunIterationsAccumulatesPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := fastConfig()
 	cfg.LibrarySize = 900
 	cfg.TrainSize = 200
@@ -34,6 +37,9 @@ func TestRunIterationsAccumulatesPool(t *testing.T) {
 }
 
 func TestIterationsScreenDistinctWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	cfg := fastConfig()
 	cfg.LibrarySize = 600
 	cfg.TrainSize = 150

@@ -42,6 +42,9 @@ func fastConfig() Config {
 }
 
 func TestRunProducesSelections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	ests := fastEstimates(t, 3)
 	d := NewDriver(receptor.PLPro())
 	d.Cfg = fastConfig()
@@ -81,6 +84,9 @@ func TestRunProducesSelections(t *testing.T) {
 }
 
 func TestSelectionsOrderedByLOF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	ests := fastEstimates(t, 2)
 	d := NewDriver(receptor.PLPro())
 	d.Cfg = fastConfig()
@@ -133,6 +139,9 @@ func TestMaxFramesSubsampling(t *testing.T) {
 }
 
 func TestIterateRestartsFromSelections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	ests := fastEstimates(t, 2)
 	d := NewDriver(receptor.PLPro())
 	d.Cfg = fastConfig()
@@ -155,6 +164,9 @@ func TestIterateRestartsFromSelections(t *testing.T) {
 }
 
 func TestDeterministicRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	ests := fastEstimates(t, 2)
 	d1 := NewDriver(receptor.PLPro())
 	d1.Cfg = fastConfig()

@@ -159,6 +159,9 @@ func TestDockDeterministicGivenSeed(t *testing.T) {
 }
 
 func TestDockScoreCorrelatesWithTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// The whole pipeline rests on docking being a noisy but informative
 	// observation of ground truth. Over a set of molecules, best-pose
 	// score and TrueAffinity must correlate positively (both negative =
@@ -197,6 +200,9 @@ func TestDockScoreCorrelatesWithTruth(t *testing.T) {
 }
 
 func TestADADELTAQualityAtLeastComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// §5.1.1: the gradient local search should produce scores at least
 	// as good as Solis-Wets on average.
 	tg := plpro()

@@ -9,6 +9,29 @@ import (
 	"impeccable/internal/xrand"
 )
 
+// ScoreCache memoizes docking results across engine invocations. The
+// engine consults it before docking and publishes fresh results into it,
+// so repeated evaluations of the same (receptor, structure) pair — e.g.
+// overlapping campaigns submitted by different tenants of a long-lived
+// service — are served from memory instead of re-running the LGA.
+//
+// Implementations must be safe for concurrent use; the engine calls Get
+// and Put from its worker pool. A cache handed to an Engine is assumed to
+// be scoped to that engine's receptor (the service layer keys a shared
+// cache by target and hands out per-target views).
+//
+// The cache key does not include the engine's Params or Seed: every
+// engine sharing one cache must run a compatible docking configuration,
+// and reuse across RNG seeds is deliberate — the first evaluation of a
+// structure becomes the canonical one. Do not share one cache between
+// engines of different quality settings (e.g. Runs=2 vs QualityParams).
+type ScoreCache interface {
+	// Get returns the cached result for the molecule, if present.
+	Get(m *chem.Molecule) (Result, bool)
+	// Put stores a freshly computed result for the molecule.
+	Put(m *chem.Molecule, r Result)
+}
+
 // Engine docks batches of ligands against a single receptor, reusing the
 // receptor across ligands exactly as AutoDock-GPU's receptor-reuse mode
 // does (§5.1.1), and processing ligands in parallel over a worker pool
@@ -19,6 +42,15 @@ type Engine struct {
 	Params  Params
 	Workers int    // worker pool width; 0 means GOMAXPROCS
 	Seed    uint64 // base seed; each ligand docks on a private stream
+
+	// Cache, when non-nil, memoizes results by molecule structure. Hits
+	// are returned with Evals and Flops zeroed (no new work was spent)
+	// and Cached set.
+	Cache ScoreCache
+
+	// Cancel, when non-nil, aborts batch docking between ligands once
+	// closed. Results for ligands not yet docked are zero-valued.
+	Cancel <-chan struct{}
 }
 
 // NewEngine builds a docking engine with default parameters.
@@ -26,14 +58,44 @@ func NewEngine(t *receptor.Target, seed uint64) *Engine {
 	return &Engine{Target: t, Params: DefaultParams(), Seed: seed}
 }
 
-// DockOne docks a single molecule.
+// DockOne docks a single molecule, consulting the cache first when one is
+// attached.
 func (e *Engine) DockOne(m *chem.Molecule) Result {
+	if e.Cache != nil {
+		if hit, ok := e.Cache.Get(m); ok {
+			// A fingerprint collision between structurally identical
+			// molecules may carry a different ID; report the query's.
+			hit.MolID = m.ID
+			hit.Evals = 0
+			hit.Flops = 0
+			hit.Cached = true
+			return hit
+		}
+	}
 	s := NewScoreFunc(e.Target, m)
 	r := xrand.NewFrom(e.Seed, m.ID)
-	return Dock(s, e.Params, r)
+	res := Dock(s, e.Params, r)
+	if e.Cache != nil {
+		e.Cache.Put(m, res)
+	}
+	return res
+}
+
+// canceled reports whether the engine's cancel channel has been closed.
+func (e *Engine) canceled() bool {
+	if e.Cancel == nil {
+		return false
+	}
+	select {
+	case <-e.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // DockBatch docks every molecule, preserving input order in the results.
+// If the engine is canceled mid-batch, remaining entries are zero-valued.
 func (e *Engine) DockBatch(mols []*chem.Molecule) []Result {
 	workers := e.Workers
 	if workers <= 0 {
@@ -45,6 +107,9 @@ func (e *Engine) DockBatch(mols []*chem.Molecule) []Result {
 	if workers <= 1 {
 		out := make([]Result, len(mols))
 		for i, m := range mols {
+			if e.canceled() {
+				break
+			}
 			out[i] = e.DockOne(m)
 		}
 		return out
@@ -62,7 +127,7 @@ func (e *Engine) DockBatch(mols []*chem.Molecule) []Result {
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(mols) {
+				if i >= len(mols) || e.canceled() {
 					return
 				}
 				out[i] = e.DockOne(mols[i])

@@ -63,6 +63,7 @@ type Result struct {
 	Flops    int64     // estimated floating-point operations
 	Method   string    // local-search method name
 	PoseRMSD float64   // RMSD of best pose beads to pocket center frame
+	Cached   bool      // true when served from a ScoreCache (Evals/Flops are 0)
 }
 
 // Dock runs the Lamarckian GA for the given scoring function and returns

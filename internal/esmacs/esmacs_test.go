@@ -97,6 +97,9 @@ func TestEstimateDeterministic(t *testing.T) {
 }
 
 func TestEnsembleTightensVariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// §5.1.3: single-trajectory MMPBSA is highly variable; the 6-replica
 	// ensemble mean is substantially more reproducible. Compare the
 	// spread of repeated estimates under different seeds.
@@ -130,6 +133,9 @@ func stddev(x []float64) float64 {
 }
 
 func TestDeltaGRangeMatchesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// Fig. 5A: CG-ESMACS values lie roughly in [-60, +20] kcal/mol.
 	r := NewRunner(receptor.PLPro(), 13)
 	rng := xrand.New(2)
@@ -149,6 +155,9 @@ func TestDeltaGRangeMatchesPaperScale(t *testing.T) {
 }
 
 func TestRankingBeatsDocking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// The accuracy ladder (Table 2): ESMACS ranking should correlate
 	// with ground truth at least as well as cheap docking does. Here we
 	// just require a solid positive correlation.

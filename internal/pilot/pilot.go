@@ -95,18 +95,32 @@ func (p *Pilot) Submit(tasks ...*Task) {
 		t.SubmitTime = now
 		p.queue = append(p.queue, t)
 	}
-	p.schedule()
+	fatals := p.schedule()
 	p.sample()
 	p.mu.Unlock()
+	notifyFatals(fatals)
 }
 
-// schedule places queued tasks first-fit with backfilling. Caller holds
+// notifyFatals delivers completion callbacks for unsatisfiable tasks.
+// Callbacks run outside p.mu: they may resubmit to the pilot.
+func notifyFatals(fatals []*Task) {
+	for _, t := range fatals {
+		if t.OnDone != nil {
+			t.OnDone(t)
+		}
+	}
+}
+
+// schedule places queued tasks first-fit with backfilling, returning the
+// tasks rejected as unsatisfiable so the caller can deliver their OnDone
+// callbacks once p.mu is released (a fatal task "finishes" too — without
+// the callback, a stage waiting on it would wait forever). Caller holds
 // p.mu. A failed-shape memo keeps the pass O(queue) for homogeneous
 // backlogs: once a (cores, gpus, nodes) request shape fails to place, all
 // later tasks of the same shape are skipped without rescanning nodes —
 // essential when hundreds of thousands of identical tasks queue behind a
 // full allocation.
-func (p *Pilot) schedule() {
+func (p *Pilot) schedule() (fatals []*Task) {
 	type shape struct{ c, g, n int }
 	failed := map[shape]bool{}
 	remaining := p.queue[:0]
@@ -120,7 +134,12 @@ func (p *Pilot) schedule() {
 		if fatal {
 			t.State = Failed
 			t.EndTime = p.Clock.Now()
+			if t.Err == nil {
+				t.Err = fmt.Errorf("task %q unsatisfiable on platform %s",
+					t.Name, p.Platform.Name)
+			}
 			p.failed = append(p.failed, t)
+			fatals = append(fatals, t)
 			continue
 		}
 		if !ok {
@@ -135,6 +154,7 @@ func (p *Pilot) schedule() {
 		p.Exec.Launch(task, func() { p.onDone(task) })
 	}
 	p.queue = remaining
+	return fatals
 }
 
 // onDone finalizes a completed task, frees its resources and reschedules.
@@ -154,13 +174,14 @@ func (p *Pilot) onDone(t *Task) {
 		}
 	}
 	cb := t.OnDone
-	p.schedule()
+	fatals := p.schedule()
 	p.sample()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	if cb != nil {
 		cb(t)
 	}
+	notifyFatals(fatals)
 }
 
 // sample appends a utilization trace point. Caller holds p.mu.

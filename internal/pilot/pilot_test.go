@@ -55,6 +55,9 @@ func TestConcurrencyBoundedByResources(t *testing.T) {
 }
 
 func TestPaperExample10000Tasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// §5.2.2: "given 10,000 single-node tasks and 1000 nodes, a pilot
 	// system will execute 1000 tasks concurrently" — ten waves.
 	p, clk := simPilot(1000)

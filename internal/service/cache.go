@@ -1,0 +1,180 @@
+// Package service turns the one-shot campaign engine into a long-lived,
+// concurrent, multi-tenant evaluation service: a bounded-worker job
+// queue and scheduler for submitted campaigns, a sharded memoizing score
+// cache that dedupes repeated docking work across tenants, and an HTTP
+// JSON API (submit / status / result / cache stats / health) built on
+// net/http only. The shape follows standing solver-evaluation services
+// (cf. the ICCMA competition infrastructure): many submitted jobs, one
+// shared solver substrate, aggressive reuse of identical evaluations.
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/dock"
+)
+
+// scoreKey identifies one memoized docking evaluation: the receptor by
+// name and the ligand by structural fingerprint. Structurally identical
+// molecules (same fingerprint) dock identically, so the fingerprint —
+// not the library ID — is the unit of reuse across tenants.
+type scoreKey struct {
+	target string
+	fp     chem.Fingerprint
+}
+
+// scoreShard is one lock-striped segment of the score cache.
+type scoreShard struct {
+	mu sync.RWMutex
+	m  map[scoreKey]dock.Result
+}
+
+// ScoreCache is a sharded, concurrency-safe memoizing cache of docking
+// results keyed by (target, molecule fingerprint). Shards are selected
+// by fingerprint hash so concurrent campaigns stripe their traffic
+// across independent locks instead of serializing on one map.
+type ScoreCache struct {
+	shards []scoreShard
+	mask   uint64
+
+	// maxPerShard bounds each shard's entry count; 0 means unbounded.
+	// Eviction is random-replacement (delete an arbitrary entry), which
+	// is cheap and adequate for a dedup cache.
+	maxPerShard int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+	evicts atomic.Int64
+}
+
+// NewScoreCache builds a cache with the given shard count (rounded up to
+// a power of two; values < 1 become 16) and a total soft capacity of
+// maxEntries results (0 = unbounded).
+func NewScoreCache(shards, maxEntries int) *ScoreCache {
+	if shards < 1 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &ScoreCache{shards: make([]scoreShard, n), mask: uint64(n - 1)}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + n - 1) / n
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[scoreKey]dock.Result)
+	}
+	return c
+}
+
+// shardFor hashes the key's fingerprint (already well mixed) with the
+// target name into a shard index.
+func (c *ScoreCache) shardFor(k scoreKey) *scoreShard {
+	h := uint64(14695981039346656037)
+	for _, ch := range []byte(k.target) {
+		h = (h ^ uint64(ch)) * 1099511628211
+	}
+	for _, w := range k.fp {
+		h ^= w
+		h *= 1099511628211
+	}
+	return &c.shards[h&c.mask]
+}
+
+// get returns the cached result for (target, molecule), if present.
+func (c *ScoreCache) get(target string, m *chem.Molecule) (dock.Result, bool) {
+	k := scoreKey{target: target, fp: m.FP()}
+	s := c.shardFor(k)
+	s.mu.RLock()
+	r, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		// Callers may hold the genome slice; hand out a private copy so
+		// no two tenants share backing memory.
+		r.Genome = append([]float64(nil), r.Genome...)
+		return r, true
+	}
+	c.misses.Add(1)
+	return dock.Result{}, false
+}
+
+// put stores a result for (target, molecule), evicting an arbitrary
+// entry when the shard is at capacity.
+func (c *ScoreCache) put(target string, m *chem.Molecule, r dock.Result) {
+	k := scoreKey{target: target, fp: m.FP()}
+	// Store a private copy of the genome: the caller may mutate its
+	// slice after Put returns.
+	r.Genome = append([]float64(nil), r.Genome...)
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, exists := s.m[k]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			c.evicts.Add(1)
+			break
+		}
+	}
+	s.m[k] = r
+	s.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// Len returns the total number of cached results across all shards.
+func (c *ScoreCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Shards    int     `json:"shards"`
+	Entries   int     `json:"entries"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Puts      int64   `json:"puts"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"` // hits / (hits+misses); 0 when no lookups
+}
+
+// Stats snapshots the cache counters.
+func (c *ScoreCache) Stats() CacheStats {
+	st := CacheStats{
+		Shards:    len(c.shards),
+		Entries:   c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evicts.Load(),
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return st
+}
+
+// ForTarget returns a view of the cache scoped to one receptor,
+// satisfying dock.ScoreCache so it can be attached to a dock.Engine or a
+// campaign.Config.
+func (c *ScoreCache) ForTarget(name string) dock.ScoreCache {
+	return &targetCache{c: c, target: name}
+}
+
+// targetCache adapts the shared cache to dock.ScoreCache for one target.
+type targetCache struct {
+	c      *ScoreCache
+	target string
+}
+
+func (t *targetCache) Get(m *chem.Molecule) (dock.Result, bool) { return t.c.get(t.target, m) }
+func (t *targetCache) Put(m *chem.Molecule, r dock.Result)      { t.c.put(t.target, m, r) }

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/dock"
+)
+
+func TestScoreCacheHitMissAccounting(t *testing.T) {
+	c := NewScoreCache(8, 0)
+	view := c.ForTarget("T1")
+	m1, m2 := chem.FromID(1), chem.FromID(2)
+
+	if _, ok := view.Get(m1); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	view.Put(m1, dock.Result{MolID: 1, Score: -7.5, Genome: []float64{1, 2}})
+	r, ok := view.Get(m1)
+	if !ok || r.Score != -7.5 {
+		t.Fatalf("expected hit with score -7.5, got %+v ok=%v", r, ok)
+	}
+	if _, ok := view.Get(m2); ok {
+		t.Fatal("unexpected hit for unseen molecule")
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=2 puts=1 entries=1", st)
+	}
+	if want := 1.0 / 3.0; st.HitRate < want-1e-9 || st.HitRate > want+1e-9 {
+		t.Fatalf("hit rate = %v, want 1/3", st.HitRate)
+	}
+}
+
+func TestScoreCacheTargetIsolation(t *testing.T) {
+	c := NewScoreCache(4, 0)
+	m := chem.FromID(99)
+	c.ForTarget("A").Put(m, dock.Result{Score: -1})
+	if _, ok := c.ForTarget("B").Get(m); ok {
+		t.Fatal("target B saw target A's entry")
+	}
+	if r, ok := c.ForTarget("A").Get(m); !ok || r.Score != -1 {
+		t.Fatal("target A lost its entry")
+	}
+}
+
+func TestScoreCacheGenomeIsolation(t *testing.T) {
+	c := NewScoreCache(2, 0)
+	view := c.ForTarget("T")
+	m := chem.FromID(7)
+	g := []float64{1, 2, 3}
+	view.Put(m, dock.Result{Genome: g})
+	g[0] = 99 // caller mutates its slice after Put
+	r1, _ := view.Get(m)
+	if r1.Genome[0] != 1 {
+		t.Fatalf("cache shared the caller's genome backing array: %v", r1.Genome)
+	}
+	r1.Genome[1] = 42 // tenant mutates its returned copy
+	r2, _ := view.Get(m)
+	if r2.Genome[1] != 2 {
+		t.Fatalf("two tenants shared one genome slice: %v", r2.Genome)
+	}
+}
+
+func TestScoreCacheEvictionBound(t *testing.T) {
+	const maxEntries = 32
+	c := NewScoreCache(4, maxEntries)
+	view := c.ForTarget("T")
+	for id := uint64(0); id < 500; id++ {
+		view.Put(chem.FromID(id), dock.Result{MolID: id})
+	}
+	// Per-shard bound is ceil(32/4)=8, so the total can never exceed 32.
+	if n := c.Len(); n > maxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, maxEntries)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions after 500 puts into a 32-entry cache")
+	}
+}
+
+// TestScoreCacheConcurrent hammers Get/Put from many goroutines across
+// overlapping key ranges; run under -race this checks shard locking, and
+// the final accounting checks no operation was lost.
+func TestScoreCacheConcurrent(t *testing.T) {
+	c := NewScoreCache(16, 0)
+	const (
+		goroutines = 16
+		idsPerG    = 200
+	)
+	mols := make([]*chem.Molecule, idsPerG)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			view := c.ForTarget(fmt.Sprintf("T%d", g%4)) // 4 targets shared by 16 goroutines
+			for i, m := range mols {
+				if _, ok := view.Get(m); !ok {
+					view.Put(m, dock.Result{MolID: m.ID, Score: float64(-i)})
+				}
+			}
+			// Second pass must hit everything this target holds.
+			for _, m := range mols {
+				if _, ok := view.Get(m); !ok {
+					t.Errorf("target T%d lost molecule %d", g%4, m.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 4*idsPerG {
+		t.Fatalf("entries = %d, want %d", st.Entries, 4*idsPerG)
+	}
+	// Every lookup is either a hit or a miss; the second pass alone is
+	// goroutines*idsPerG guaranteed hits.
+	if total := st.Hits + st.Misses; total != int64(2*goroutines*idsPerG) {
+		t.Fatalf("hits+misses = %d, want %d", total, 2*goroutines*idsPerG)
+	}
+	if st.Hits < int64(goroutines*idsPerG) {
+		t.Fatalf("hits = %d, want at least %d", st.Hits, goroutines*idsPerG)
+	}
+}
+
+func TestFeatureCacheConcurrent(t *testing.T) {
+	c := NewFeatureCache(8, 0)
+	want := chem.FromID(5).FeatureVector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := uint64(0); id < 100; id++ {
+				v := c.Features(id)
+				if len(v) != chem.FeatureDim {
+					t.Errorf("feature dim = %d, want %d", len(v), chem.FeatureDim)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Features(5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached features diverge from materialized at %d", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 100 {
+		t.Fatalf("entries = %d, want 100", st.Entries)
+	}
+	if st.Hits == 0 {
+		t.Fatal("expected hits from overlapping goroutines")
+	}
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"impeccable/internal/chem"
+)
+
+// FeatureCache memoizes molecule feature vectors by library ID for the
+// ML1 screening hot path. Molecule materialization is deterministic, so
+// vectors computed for one tenant's screen are valid for every other
+// tenant screening an overlapping library window. Sharded like the score
+// cache; satisfies surrogate.FeatureSource.
+type FeatureCache struct {
+	shards []featShard
+	mask   uint64
+
+	maxPerShard int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+type featShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]float64
+}
+
+// NewFeatureCache builds a feature cache with the given shard count
+// (rounded up to a power of two; values < 1 become 16) and a total soft
+// capacity of maxEntries vectors (0 = unbounded).
+func NewFeatureCache(shards, maxEntries int) *FeatureCache {
+	if shards < 1 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &FeatureCache{shards: make([]featShard, n), mask: uint64(n - 1)}
+	if maxEntries > 0 {
+		c.maxPerShard = (maxEntries + n - 1) / n
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]float64)
+	}
+	return c
+}
+
+// Features returns the feature vector for the molecule ID, computing and
+// caching it on first use. The returned slice is shared and must be
+// treated as read-only (the surrogate copies it into its input matrix).
+func (c *FeatureCache) Features(id uint64) []float64 {
+	// Mix the ID so sequential library windows spread across shards.
+	h := id * 0x9E3779B97F4A7C15
+	s := &c.shards[h&c.mask]
+	s.mu.RLock()
+	v, ok := s.m[id]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = chem.FromID(id).FeatureVector()
+	s.mu.Lock()
+	if _, exists := s.m[id]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
+		for victim := range s.m {
+			delete(s.m, victim)
+			c.evicts.Add(1)
+			break
+		}
+	}
+	s.m[id] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Stats snapshots the feature-cache counters.
+func (c *FeatureCache) Stats() CacheStats {
+	st := CacheStats{
+		Shards:    len(c.shards),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicts.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	st.Puts = st.Misses // every miss computes and stores
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRate = float64(st.Hits) / float64(lookups)
+	}
+	return st
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /api/v1/campaigns          submit a campaign (SubmitRequest JSON)
+//	GET    /api/v1/campaigns          list job snapshots
+//	GET    /api/v1/campaigns/{id}     one job's status
+//	DELETE /api/v1/campaigns/{id}     cancel a job
+//	GET    /api/v1/campaigns/{id}/result   completed job's summary
+//	GET    /api/v1/cache              score + feature cache stats
+//	GET    /healthz                   liveness + job counts
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON encodes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+// maxSubmitBody bounds the request body; a SubmitRequest is tiny.
+const maxSubmitBody = 1 << 16
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	id, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	snap, _ := s.Status(id)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	snap, _ := s.Status(id)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job")
+	case errors.Is(err, ErrNotFinished):
+		// 409: the resource exists but is not ready; poll status first.
+		writeError(w, http.StatusConflict, err.Error())
+	case err != nil:
+		writeError(w, http.StatusGone, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, sum)
+	}
+}
+
+// cacheStatsBody is the /api/v1/cache response.
+type cacheStatsBody struct {
+	Scores   CacheStats `json:"scores"`
+	Features CacheStats `json:"features"`
+}
+
+func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cacheStatsBody{
+		Scores:   s.ScoreCacheStats(),
+		Features: s.FeatureCacheStats(),
+	})
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status  string           `json:"status"`
+	Uptime  string           `json:"uptime"`
+	Jobs    map[JobState]int `json:"jobs"`
+	Targets []string         `json:"targets"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:  "ok",
+		Uptime:  s.Uptime().Round(time.Millisecond).String(),
+		Jobs:    s.sched.counts(),
+		Targets: s.Targets(),
+	})
+}

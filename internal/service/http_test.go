@@ -1,0 +1,247 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := NewService(Options{Workers: 1, CacheShards: 8})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Shutdown()
+	})
+	return s, srv
+}
+
+// doJSON issues a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (small) campaign")
+	}
+	_, srv := newTestServer(t)
+
+	var snap JobSnapshot
+	code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", smallReq(), &snap)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	if snap.ID == "" || snap.State == "" {
+		t.Fatalf("submit snapshot = %+v", snap)
+	}
+
+	// A result request before completion is a 409, not a 404. Probe once,
+	// right after submit — the campaign cannot have finished yet.
+	var apiErr apiError
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+snap.ID+"/result", nil, &apiErr); code != http.StatusConflict {
+		t.Fatalf("premature result fetch = %d, want 409", code)
+	}
+	deadlineOK := false
+	for deadline := time.Now().Add(5 * time.Minute); time.Now().Before(deadline); {
+		code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+snap.ID, nil, &snap)
+		if code != http.StatusOK {
+			t.Fatalf("status code = %d", code)
+		}
+		if snap.State.Terminal() {
+			deadlineOK = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !deadlineOK {
+		t.Fatalf("job never finished: %+v", snap)
+	}
+	if snap.State != StateDone {
+		t.Fatalf("job state = %s (%s)", snap.State, snap.Error)
+	}
+	if snap.Progress != 1 || snap.Started == nil || snap.Finished == nil {
+		t.Fatalf("done snapshot incomplete: %+v", snap)
+	}
+
+	var sum ResultSummary
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+snap.ID+"/result", nil, &sum); code != http.StatusOK {
+		t.Fatalf("result status = %d", code)
+	}
+	if sum.Funnel.Screened != 300 || len(sum.Top) == 0 {
+		t.Fatalf("result summary = %+v", sum)
+	}
+
+	// List includes the job; cache endpoint reports the cold misses.
+	var list []JobSnapshot
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns", nil, &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list = %d items, code %d", len(list), code)
+	}
+	var cs cacheStatsBody
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/cache", nil, &cs); code != http.StatusOK {
+		t.Fatalf("cache status = %d", code)
+	}
+	if cs.Scores.Puts == 0 || cs.Features.Entries == 0 {
+		t.Fatalf("cache stats empty after a campaign: %+v", cs)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real campaign")
+	}
+	_, srv := newTestServer(t)
+	req := smallReq()
+	req.LibrarySize = 4000
+	req.TrainSize = 800
+	req.FastProtocols = false
+
+	var snap JobSnapshot
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", req, &snap); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	id := snap.ID
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+id, nil, &snap)
+		if snap.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code := doJSON(t, "DELETE", srv.URL+"/api/v1/campaigns/"+id, nil, &snap); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	for deadline := time.Now().Add(time.Minute); ; {
+		doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+id, nil, &snap)
+		if snap.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never terminated after cancel: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", snap.State)
+	}
+	var apiErr apiError
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+id+"/result", nil, &apiErr); code != http.StatusGone {
+		t.Fatalf("result of canceled job = %d, want 410", code)
+	}
+}
+
+func TestHTTPErrorsAndHealth(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	// Malformed body.
+	resp, err := http.Post(srv.URL+"/api/v1/campaigns", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	// Unknown field.
+	resp, err = http.Post(srv.URL+"/api/v1/campaigns", "application/json",
+		strings.NewReader(`{"target":"PLPro","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d", resp.StatusCode)
+	}
+	// Unknown target.
+	var apiErr apiError
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns",
+		SubmitRequest{Target: "Nope"}, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("unknown target = %d", code)
+	}
+	if apiErr.Error == "" {
+		t.Fatal("error body missing")
+	}
+	// Unknown job IDs.
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/api/v1/campaigns/job-999999"},
+		{"DELETE", "/api/v1/campaigns/job-999999"},
+		{"GET", "/api/v1/campaigns/job-999999/result"},
+	} {
+		if code := doJSON(t, probe.method, srv.URL+probe.path, nil, &apiErr); code != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", probe.method, probe.path, code)
+		}
+	}
+	// Health.
+	var hb healthBody
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &hb); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if hb.Status != "ok" || len(hb.Targets) != 4 {
+		t.Fatalf("health = %+v", hb)
+	}
+}
+
+// TestHTTPConcurrentSubmissions floods the API from several clients and
+// checks every job reaches a terminal state — the multi-tenant smoke
+// test. Kept small; skipped in -short.
+func TestHTTPConcurrentSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small campaigns")
+	}
+	s, srv := newTestServer(t)
+	const n = 3
+	ids := make([]string, n)
+	for i := range ids {
+		req := smallReq()
+		req.LibOffset = uint64(i % 2 * 1000) // two of three overlap
+		var snap JobSnapshot
+		if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", req, &snap); code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		ids[i] = snap.ID
+	}
+	for i, id := range ids {
+		snap, err := s.Wait(id, 5*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != StateDone {
+			t.Fatalf("job %d (%s) = %+v", i, id, snap)
+		}
+	}
+	var cs cacheStatsBody
+	doJSON(t, "GET", srv.URL+"/api/v1/cache", nil, &cs)
+	if cs.Features.Hits == 0 {
+		t.Fatal("feature cache saw no reuse across overlapping windows")
+	}
+}

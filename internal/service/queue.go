@@ -1,0 +1,281 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of a submitted campaign.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// job is the scheduler's record of one submitted campaign.
+type job struct {
+	id  string
+	req SubmitRequest
+
+	mu         sync.Mutex
+	state      JobState
+	stage      string  // last reported campaign stage
+	progress   float64 // approximate completed fraction [0,1]
+	err        string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	result     *jobResult
+	cancel     chan struct{}
+	cancelOnce sync.Once
+}
+
+// requestCancel closes the job's cancel channel exactly once.
+func (j *job) requestCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+}
+
+// snapshotLocked builds a JobSnapshot; callers hold j.mu.
+func (j *job) snapshotLocked() JobSnapshot {
+	s := JobSnapshot{
+		ID:        j.id,
+		Target:    j.req.Target,
+		State:     j.state,
+		Stage:     j.stage,
+		Progress:  j.progress,
+		Error:     j.err,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// JobSnapshot is the externally visible status of a job.
+type JobSnapshot struct {
+	ID        string     `json:"id"`
+	Target    string     `json:"target"`
+	State     JobState   `json:"state"`
+	Stage     string     `json:"stage,omitempty"`
+	Progress  float64    `json:"progress"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+}
+
+// scheduler runs queued jobs over a bounded worker pool.
+type scheduler struct {
+	run func(*job) // executes one job's campaign
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for listing
+	pending []*job   // FIFO queue of jobs awaiting a worker
+	nextID  int
+	closed  bool
+
+	wake chan struct{} // pokes idle workers; buffered
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newScheduler starts workers goroutines draining the queue.
+func newScheduler(workers int, run func(*job)) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &scheduler{
+		run:  run,
+		jobs: make(map[string]*job),
+		wake: make(chan struct{}, workers),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submit enqueues a request and returns the new job's ID.
+func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", fmt.Errorf("service: scheduler is shut down")
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		req:       req,
+		state:     StateQueued,
+		submitted: now,
+		cancel:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pending = append(s.pending, j)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return j.id, nil
+}
+
+// worker drains the pending queue until the scheduler shuts down.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.pop()
+		if j == nil {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.quit:
+				return
+			}
+		}
+		s.execute(j)
+	}
+}
+
+// pop dequeues the next runnable job, skipping jobs canceled while
+// queued. Returns nil when the queue is empty.
+func (s *scheduler) pop() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) > 0 {
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		j.mu.Lock()
+		runnable := j.state == StateQueued
+		if runnable {
+			j.state = StateRunning
+			j.started = time.Now()
+		}
+		j.mu.Unlock()
+		if runnable {
+			return j
+		}
+	}
+	return nil
+}
+
+// execute runs one job and records its terminal state.
+func (s *scheduler) execute(j *job) {
+	s.run(j)
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.state = StateDone
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+// get returns the job by ID.
+func (s *scheduler) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels a queued or running job. Canceling a terminal job is
+// a no-op; unknown IDs return false.
+func (s *scheduler) cancelJob(id string) bool {
+	j, ok := s.get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// Never started: mark terminal immediately; pop() will skip it.
+		j.state = StateCanceled
+		j.finished = time.Now()
+	case StateRunning:
+		// The campaign observes the closed channel between stages and
+		// returns ErrCanceled; the runner records the terminal state.
+	}
+	j.mu.Unlock()
+	j.requestCancel()
+	return true
+}
+
+// jobsInOrder returns every job in submission order.
+func (s *scheduler) jobsInOrder() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// list snapshots every job in submission order.
+func (s *scheduler) list() []JobSnapshot {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		out = append(out, j.snapshotLocked())
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// counts tallies jobs by state for the health endpoint.
+func (s *scheduler) counts() map[JobState]int {
+	out := map[JobState]int{}
+	for _, snap := range s.list() {
+		out[snap.State]++
+	}
+	return out
+}
+
+// shutdown stops accepting submissions, cancels every non-terminal job
+// and waits for the workers to drain.
+func (s *scheduler) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j.id)
+	}
+	close(s.quit)
+	s.wg.Wait()
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"impeccable/internal/campaign"
+	"impeccable/internal/dock"
+	"impeccable/internal/receptor"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds how many campaigns run concurrently; 0 means half
+	// of GOMAXPROCS (each campaign parallelizes internally too).
+	Workers int
+	// CampaignWorkers bounds the intra-campaign worker pools (docking,
+	// screening, ESMACS); 0 means GOMAXPROCS.
+	CampaignWorkers int
+	// CacheShards is the lock-stripe width of the shared caches; 0
+	// means 64.
+	CacheShards int
+	// MaxCacheEntries soft-bounds the score cache; 0 means unbounded.
+	MaxCacheEntries int
+	// MaxRetainedResults bounds how many completed jobs keep their full
+	// in-memory campaign result (trajectories included); older jobs
+	// retain only the small summary. 0 means 64; negative = unbounded.
+	MaxRetainedResults int
+	// Targets are the receptors the service accepts campaigns against;
+	// nil means receptor.StandardTargets().
+	Targets []*receptor.Target
+}
+
+// Service is a long-lived, multi-tenant campaign evaluation service:
+// submitted campaigns queue onto a bounded worker pool and share a
+// sharded docking-score cache and feature cache, so overlapping
+// submissions dedupe their most expensive evaluations.
+type Service struct {
+	scores     *ScoreCache
+	features   *FeatureCache
+	targets    map[string]*receptor.Target
+	sched      *scheduler
+	workers    int // per-campaign worker width
+	maxResults int // full campaign results retained; <0 = unbounded
+	started    time.Time
+}
+
+// SubmitRequest describes one campaign submission. Zero-valued fields
+// take the campaign defaults for the target.
+type SubmitRequest struct {
+	Target        string `json:"target"` // receptor name, e.g. "PLPro"
+	LibrarySize   int    `json:"library_size,omitempty"`
+	TrainSize     int    `json:"train_size,omitempty"`
+	CGCount       int    `json:"cg_count,omitempty"`
+	TopCompounds  int    `json:"top_compounds,omitempty"`
+	OutliersPer   int    `json:"outliers_per,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	LibOffset     uint64 `json:"lib_offset,omitempty"` // library window start
+	FastProtocols bool   `json:"fast_protocols,omitempty"`
+}
+
+// jobResult pairs the campaign result with the serializable summary.
+// full may be released by retention trimming; summary is kept forever.
+type jobResult struct {
+	full    *campaign.Result
+	summary ResultSummary
+}
+
+// ResultSummary is the JSON-friendly projection of a campaign result.
+// Funnel carries the cost accounting (DockEvals, DockCacheHits).
+type ResultSummary struct {
+	Funnel          campaign.FunnelStats     `json:"funnel"`
+	Top             []campaign.TopComparison `json:"top"`
+	ScientificYield float64                  `json:"scientific_yield"`
+}
+
+// NewService builds and starts a service; call Shutdown when done.
+func NewService(opts Options) *Service {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	shards := opts.CacheShards
+	if shards <= 0 {
+		shards = 64
+	}
+	targets := opts.Targets
+	if targets == nil {
+		targets = receptor.StandardTargets()
+	}
+	maxResults := opts.MaxRetainedResults
+	if maxResults == 0 {
+		maxResults = 64
+	}
+	s := &Service{
+		scores:     NewScoreCache(shards, opts.MaxCacheEntries),
+		features:   NewFeatureCache(shards, opts.MaxCacheEntries),
+		targets:    make(map[string]*receptor.Target, len(targets)),
+		workers:    opts.CampaignWorkers,
+		maxResults: maxResults,
+		started:    time.Now(),
+	}
+	for _, t := range targets {
+		s.targets[t.Name] = t
+	}
+	s.sched = newScheduler(workers, s.runJob)
+	return s
+}
+
+// Targets lists the receptor names the service accepts.
+func (s *Service) Targets() []string {
+	names := make([]string, 0, len(s.targets))
+	for n := range s.targets {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Per-request ceilings: one tenant must not be able to OOM or
+// monopolize the shared server with a single oversized submission.
+const (
+	MaxLibrarySize  = 1_000_000
+	MaxTrainSize    = 100_000
+	MaxCGCount      = 500
+	MaxTopCompounds = 100
+	MaxOutliersPer  = 100
+)
+
+// Submit validates a request and enqueues it, returning the job ID.
+func (s *Service) Submit(req SubmitRequest) (string, error) {
+	if _, ok := s.targets[req.Target]; !ok {
+		return "", fmt.Errorf("service: unknown target %q (have %v)", req.Target, s.Targets())
+	}
+	for _, lim := range []struct {
+		name     string
+		val, max int
+	}{
+		{"library_size", req.LibrarySize, MaxLibrarySize},
+		{"train_size", req.TrainSize, MaxTrainSize},
+		{"cg_count", req.CGCount, MaxCGCount},
+		{"top_compounds", req.TopCompounds, MaxTopCompounds},
+		{"outliers_per", req.OutliersPer, MaxOutliersPer},
+	} {
+		if lim.val > lim.max {
+			return "", fmt.Errorf("service: %s %d too large (max %d)", lim.name, lim.val, lim.max)
+		}
+	}
+	if req.LibrarySize != 0 && req.LibrarySize < 10 {
+		return "", fmt.Errorf("service: library_size %d too small (min 10)", req.LibrarySize)
+	}
+	if req.TrainSize != 0 && req.TrainSize < 10 {
+		return "", fmt.Errorf("service: train_size %d too small (min 10)", req.TrainSize)
+	}
+	return s.sched.submit(req, time.Now())
+}
+
+// configFor translates a submission into a campaign config wired to the
+// shared caches and the job's cancellation channel.
+func (s *Service) configFor(j *job) campaign.Config {
+	t := s.targets[j.req.Target]
+	cfg := campaign.DefaultConfig(t)
+	if j.req.LibrarySize > 0 {
+		cfg.LibrarySize = j.req.LibrarySize
+	}
+	if j.req.TrainSize > 0 {
+		cfg.TrainSize = j.req.TrainSize
+	}
+	if j.req.CGCount > 0 {
+		cfg.CGCount = j.req.CGCount
+	}
+	if j.req.TopCompounds > 0 {
+		cfg.TopCompounds = j.req.TopCompounds
+	}
+	if j.req.OutliersPer > 0 {
+		cfg.OutliersPer = j.req.OutliersPer
+	}
+	if j.req.Seed != 0 {
+		cfg.Seed = j.req.Seed
+	}
+	cfg.FastProtocols = j.req.FastProtocols
+	cfg.Workers = s.workers
+	cfg.DockCache = s.scores.ForTarget(t.Name)
+	cfg.Features = s.features
+	cfg.Cancel = j.cancel
+	cfg.Progress = func(stage string, frac float64) {
+		j.mu.Lock()
+		j.stage, j.progress = stage, frac
+		j.mu.Unlock()
+	}
+	return cfg
+}
+
+// runJob executes one job's campaign; invoked by scheduler workers. A
+// panicking campaign fails its job, never the server — every other
+// tenant's jobs keep running.
+func (s *Service) runJob(j *job) {
+	cfg := s.configFor(j)
+	res, err := func() (res *campaign.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: campaign panicked: %v", r)
+			}
+		}()
+		return campaign.RunWithPool(cfg, nil, j.req.LibOffset)
+	}()
+	j.mu.Lock()
+	switch {
+	case errors.Is(err, campaign.ErrCanceled):
+		j.state = StateCanceled
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+	default:
+		j.progress = 1
+		j.result = &jobResult{
+			full: res,
+			summary: ResultSummary{
+				Funnel:          res.Funnel,
+				Top:             res.Top,
+				ScientificYield: res.ScientificYield,
+			},
+		}
+	}
+	j.mu.Unlock()
+	s.trimResults()
+}
+
+// trimResults releases the full campaign results of the oldest done
+// jobs beyond the retention bound. Summaries (what the HTTP API serves)
+// are kept for every job; only the heavyweight in-memory results go.
+func (s *Service) trimResults() {
+	if s.maxResults < 0 {
+		return
+	}
+	var withFull []*job
+	for _, j := range s.sched.jobsInOrder() {
+		j.mu.Lock()
+		if j.result != nil && j.result.full != nil {
+			withFull = append(withFull, j)
+		}
+		j.mu.Unlock()
+	}
+	for _, j := range withFull[:max(0, len(withFull)-s.maxResults)] {
+		j.mu.Lock()
+		if j.result != nil {
+			j.result.full = nil
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Status returns the snapshot of one job.
+func (s *Service) Status(id string) (JobSnapshot, bool) {
+	j, ok := s.sched.get(id)
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked(), true
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Service) Jobs() []JobSnapshot { return s.sched.list() }
+
+// Cancel requests cancellation of a job; false if the ID is unknown.
+func (s *Service) Cancel(id string) bool { return s.sched.cancelJob(id) }
+
+// Result returns the summary of a completed job. The error distinguishes
+// unknown IDs from jobs that are not (or never will be) done.
+func (s *Service) Result(id string) (ResultSummary, error) {
+	j, ok := s.sched.get(id)
+	if !ok {
+		return ResultSummary{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == StateDone && j.result != nil:
+		return j.result.summary, nil
+	case j.state.Terminal():
+		return ResultSummary{}, fmt.Errorf("%w: job %s is %s", ErrNoResult, id, j.state)
+	default:
+		return ResultSummary{}, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
+	}
+}
+
+// FullResult returns the complete in-memory campaign result of a done
+// job (for in-process embedders; not exposed over HTTP). Returns
+// ErrNoResult once retention trimming has released the full result —
+// the summary remains available via Result.
+func (s *Service) FullResult(id string) (*campaign.Result, error) {
+	j, ok := s.sched.get(id)
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone && j.result != nil {
+		if j.result.full == nil {
+			return nil, fmt.Errorf("%w: job %s's full result was released by retention trimming", ErrNoResult, id)
+		}
+		return j.result.full, nil
+	}
+	return nil, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
+}
+
+// Sentinel errors for Result/FullResult.
+var (
+	ErrUnknownJob  = errors.New("service: unknown job")
+	ErrNotFinished = errors.New("service: job not finished")
+	ErrNoResult    = errors.New("service: job produced no result")
+)
+
+// ScoreCacheStats snapshots the shared docking-score cache.
+func (s *Service) ScoreCacheStats() CacheStats { return s.scores.Stats() }
+
+// FeatureCacheStats snapshots the shared feature cache.
+func (s *Service) FeatureCacheStats() CacheStats { return s.features.Stats() }
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
+
+// Shutdown cancels all jobs and stops the workers.
+func (s *Service) Shutdown() { s.sched.shutdown() }
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// elapses, returning the final snapshot.
+func (s *Service) Wait(id string, timeout time.Duration) (JobSnapshot, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		snap, ok := s.Status(id)
+		if !ok {
+			return JobSnapshot{}, ErrUnknownJob
+		}
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		if time.Now().After(deadline) {
+			return snap, fmt.Errorf("service: job %s still %s after %v", id, snap.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ScoreCacheForTarget exposes a per-target cache view for in-process
+// embedders that drive dock.Engine directly. The view shares entries
+// with the service's own campaigns, which dock with the default
+// throughput parameters (Runs=2) — attach it only to engines using the
+// same configuration (see dock.ScoreCache).
+func (s *Service) ScoreCacheForTarget(name string) dock.ScoreCache {
+	return s.scores.ForTarget(name)
+}

@@ -44,6 +44,9 @@ func TestRender2DProperties(t *testing.T) {
 }
 
 func TestCNNModelLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	mols, scores := syntheticScores(700, 21)
 	m := NewCNNModel(3)
 	cfg := DefaultTrainConfig()

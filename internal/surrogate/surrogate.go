@@ -186,13 +186,40 @@ func (m *Model) Predict(mols []*chem.Molecule) []float64 {
 // InferenceFlops estimates FLOPs for scoring n molecules.
 func (m *Model) InferenceFlops(n int) int64 { return m.net.ForwardFlops(n) }
 
+// FeatureSource supplies the feature vector of a molecule given its
+// library ID. It is the injection point for caching layers: materializing
+// a molecule and featurizing it is deterministic and identical across
+// tenants, so a long-lived service can memoize vectors once and serve
+// every campaign's ML1 screen from memory. Implementations must be safe
+// for concurrent use; the returned slice is read-only to callers.
+type FeatureSource interface {
+	Features(id uint64) []float64
+}
+
+// materializeSource is the default FeatureSource: build the molecule from
+// its ID and featurize it on the fly.
+type materializeSource struct{}
+
+func (materializeSource) Features(id uint64) []float64 {
+	return chem.FromID(id).FeatureVector()
+}
+
 // PredictIDs scores library molecule IDs with a parallel worker pool, the
 // high-throughput inference path of §6.1.1 (one MPI rank per GPU with
 // prefetching becomes one goroutine per worker materializing molecules on
 // the fly).
 func (m *Model) PredictIDs(ids []uint64, workers int) []float64 {
+	return m.PredictIDsFrom(ids, workers, nil)
+}
+
+// PredictIDsFrom is PredictIDs with an explicit feature source; nil means
+// materialize molecules on the fly.
+func (m *Model) PredictIDsFrom(ids []uint64, workers int, src FeatureSource) []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if src == nil {
+		src = materializeSource{}
 	}
 	const shard = 1024
 	out := make([]float64, len(ids))
@@ -220,11 +247,14 @@ func (m *Model) PredictIDs(ids []uint64, workers int) []float64 {
 				if end > len(ids) {
 					end = len(ids)
 				}
-				mols := make([]*chem.Molecule, end-at)
-				for i := range mols {
-					mols[i] = chem.FromID(ids[at+i])
+				x := nn.NewMat(end-at, chem.FeatureDim)
+				for i := at; i < end; i++ {
+					copy(x.Row(i-at), src.Features(ids[i]))
 				}
-				copy(out[at:end], priv.Predict(mols))
+				pred := priv.net.Forward(x)
+				for i := at; i < end; i++ {
+					out[i] = pred.At(i-at, 0)
+				}
 			}
 		}()
 	}

@@ -26,6 +26,9 @@ func syntheticScores(n int, seed uint64) ([]*chem.Molecule, []float64) {
 }
 
 func TestFitReducesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	mols, scores := syntheticScores(2000, 1)
 	m := NewModel(7)
 	cfg := DefaultTrainConfig()
@@ -58,6 +61,9 @@ func TestFitErrors(t *testing.T) {
 }
 
 func TestSurrogateEnriches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// The core ML1 claim: after training, the predicted top of the
 	// library is strongly enriched in true top compounds.
 	mols, scores := syntheticScores(3000, 3)

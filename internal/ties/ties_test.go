@@ -74,6 +74,9 @@ func TestProfileShape(t *testing.T) {
 }
 
 func TestSignTracksGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive; run without -short")
+	}
 	// For pairs with a large true affinity gap, the TI sign should agree
 	// with the oracle most of the time (alchemical methods sit at the
 	// top of the paper's accuracy ladder).
