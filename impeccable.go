@@ -34,6 +34,12 @@ type (
 	Result = campaign.Result
 	// TopComparison pairs CG and FG estimates for a top compound.
 	TopComparison = campaign.TopComparison
+	// FunnelStats counts compounds at each stage and carries the
+	// per-stage wall-clock timings and overlap ratio.
+	FunnelStats = campaign.FunnelStats
+	// FunnelCounts is the path-invariant projection of FunnelStats
+	// (identical across the sequential, EnTK and streaming paths).
+	FunnelCounts = campaign.FunnelCounts
 	// SimConfig sizes a Summit-scale simulated run (Fig. 7).
 	SimConfig = campaign.SimConfig
 	// SimResult is a simulated run's utilization/overhead summary.
@@ -63,6 +69,13 @@ func RunCampaign(cfg Config) (*Result, error) { return campaign.Run(cfg) }
 // paper's production programming model (§6.1), including the runtime
 // adaptivity that appends the FG stage from S2's selections.
 func RunCampaignViaEnTK(cfg Config) (*Result, error) { return campaign.RunViaEnTK(cfg) }
+
+// RunCampaignStreaming executes the same funnel as a streaming dataflow:
+// ML1 screening and S1 docking overlap through bounded channels, with
+// byte-identical scientific output (equivalent to setting cfg.Streaming
+// and calling RunCampaign). FunnelStats.Timings and OverlapRatio report
+// the realized schedule.
+func RunCampaignStreaming(cfg Config) (*Result, error) { return campaign.RunStreaming(cfg) }
 
 // RunIterations executes n successive campaign iterations with the
 // surrogate retrained each round on all accumulated docking labels (the

@@ -48,6 +48,14 @@ type Config struct {
 	Workers       int
 	FastProtocols bool // shrink MD durations (tests / laptop examples)
 
+	// Streaming routes Run/RunWithPool through the streaming dataflow:
+	// ML1 screening and S1 docking overlap through bounded channels (the
+	// deterministic resample set docks during ML1 training, and running
+	// top-K survivors dock while the screen is still scoring the
+	// library). The scientific output is byte-identical to the
+	// sequential path — only the schedule changes. See RunStreaming.
+	Streaming bool
+
 	// DockParams defaults to dock.DefaultParams with Runs reduced to 2
 	// for throughput.
 	DockParams *dock.Params
@@ -69,7 +77,10 @@ type Config struct {
 
 	// Progress, when non-nil, is called at stage boundaries with the
 	// stage name and the approximate completed fraction of the campaign.
-	// It must be safe to call from the campaign goroutine.
+	// The streaming path additionally reports interleaved mid-stage
+	// updates ("ml1-screen" and "s1-dock" alternate while they overlap),
+	// and may call it from multiple pipeline goroutines — implementations
+	// must be safe for concurrent use.
 	Progress func(stage string, frac float64)
 }
 
@@ -129,6 +140,59 @@ type FunnelStats struct {
 	// DockCacheHits counts S1 docks served from the injected score
 	// cache without spending any evaluations.
 	DockCacheHits int
+
+	// SpeculativeDocks/SpeculativeEvals count docking work the streaming
+	// path spent on running-top-K candidates that a later chunk evicted
+	// before the final selection — the price of overlapping S1 with the
+	// ML1 screen. Excluded from DockEvals so the consumed-work ledger
+	// stays path-invariant; always zero on the sequential paths.
+	SpeculativeDocks int
+	SpeculativeEvals int64
+
+	// Timings records each stage's wall-clock window as offsets from the
+	// campaign start. Sequential paths produce back-to-back windows; the
+	// streaming path's s1-dock window overlaps ml1-train and ml1-screen.
+	Timings []StageTiming
+	// WallSeconds is the campaign's total wall-clock time.
+	WallSeconds float64
+	// OverlapRatio is the sum of per-stage wall-clock over WallSeconds:
+	// ≈1 when stages run back-to-back, >1 when stages overlap.
+	OverlapRatio float64
+}
+
+// StageTiming is one funnel stage's wall-clock window, in seconds
+// relative to the campaign start.
+type StageTiming struct {
+	Stage   string  `json:"stage"`
+	StartS  float64 `json:"start_s"`
+	Seconds float64 `json:"seconds"`
+}
+
+// FunnelCounts is the deterministic projection of FunnelStats: the
+// fields that depend only on (seed, config), never on scheduling. For a
+// fixed config these are byte-identical across Run, RunViaEnTK and the
+// streaming path — the golden-funnel regression contract.
+type FunnelCounts struct {
+	Screened      int
+	Docked        int
+	CG            int
+	S2Frames      int
+	FG            int
+	DockEvals     int64
+	DockCacheHits int
+}
+
+// Counts extracts the path-invariant projection.
+func (f FunnelStats) Counts() FunnelCounts {
+	return FunnelCounts{
+		Screened:      f.Screened,
+		Docked:        f.Docked,
+		CG:            f.CG,
+		S2Frames:      f.S2Frames,
+		FG:            f.FG,
+		DockEvals:     f.DockEvals,
+		DockCacheHits: f.DockCacheHits,
+	}
 }
 
 // TopComparison pairs the CG and FG estimates of one top compound
@@ -186,27 +250,106 @@ func (p *Pool) Size() int { return len(p.Mols) }
 // Run executes one campaign iteration.
 func Run(cfg Config) (*Result, error) { return RunWithPool(cfg, nil, 0) }
 
+// RunStreaming executes one campaign iteration through the streaming
+// dataflow (equivalent to setting Config.Streaming and calling Run).
+func RunStreaming(cfg Config) (*Result, error) {
+	cfg.Streaming = true
+	return RunWithPool(cfg, nil, 0)
+}
+
 // RunWithPool executes one campaign iteration whose surrogate trains on
 // the accumulated pool in addition to this iteration's offline docking
 // sample, screening the library window starting at libOffset. Docked
 // compounds and their scores are appended to the pool (when non-nil) for
 // the next iteration.
 func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
-	if cfg.Target == nil {
-		return nil, fmt.Errorf("campaign: nil target")
+	if cfg.Streaming {
+		return runStreamingWithPool(cfg, pool, libOffset)
 	}
-	if cfg.LibrarySize < 10 || cfg.TrainSize < 10 {
-		return nil, fmt.Errorf("campaign: library/train sizes too small (%d/%d)",
-			cfg.LibrarySize, cfg.TrainSize)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	res := &Result{Counter: hpc.NewFlopCounter()}
+	clk := newFunnelClock()
 	r := xrand.New(cfg.Seed + libOffset)
 	lib := chem.NewLibrary("OZD", cfg.Seed^0x11B, libOffset, cfg.LibrarySize)
 
 	// --- Offline docking of a training sample (pre-training data for
 	// ML1, §6.1.1: "pre-trained on 500,000 randomly selected samples
 	// from the OZD ligand dataset"). ---
+	clk.start("s1-train")
 	cfg.progress("s1-train", 0.02)
+	eng := newFunnelEngine(&cfg)
+	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
+	trainMols := materialize(trainIDs)
+	trainDocks := eng.DockBatch(trainMols)
+	clk.stop("s1-train")
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+	trainScores, dockFlops := tallyDocks(res, trainDocks)
+	res.Counter.Add("S1", dockFlops, 0, int64(len(trainDocks)))
+
+	// --- ML1 training: this iteration's sample plus the accumulated
+	// active-learning pool. ---
+	clk.start("ml1-train")
+	cfg.progress("ml1-train", 0.15)
+	model, err := fitSurrogate(&cfg, res, trainMols, trainScores, pool)
+	if err != nil {
+		return nil, err
+	}
+	clk.stop("ml1-train")
+
+	// --- ML1 inference over the library. ---
+	clk.start("ml1-screen")
+	cfg.progress("ml1-screen", 0.30)
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+	ids := libraryIDs(lib)
+	preds := model.PredictIDsFrom(ids, cfg.Workers, cfg.Features)
+	res.Funnel.Screened = len(ids)
+	res.Counter.Add("ML1", model.InferenceFlops(len(ids)), 0, int64(len(ids)))
+	clk.stop("ml1-screen")
+
+	// --- Selection for S1, then the production docking batch. ---
+	dockIdx := selectDockIdx(&cfg, preds, libOffset)
+	dockMols := make([]*chem.Molecule, len(dockIdx))
+	for i, j := range dockIdx {
+		dockMols[i] = chem.FromID(ids[j])
+	}
+	clk.start("s1-dock")
+	cfg.progress("s1-dock", 0.45)
+	res.DockResults = eng.DockBatch(dockMols)
+	clk.stop("s1-dock")
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+	res.Funnel.Docked = len(res.DockResults) + len(trainDocks)
+	_, dockFlops = tallyDocks(res, res.DockResults)
+	res.Counter.Add("S1", dockFlops, 0, int64(len(res.DockResults)))
+
+	if err := runTail(&cfg, res, clk, model, ids, trainMols, trainScores, dockMols, pool); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// validate rejects configurations no path can run.
+func (cfg *Config) validate() error {
+	if cfg.Target == nil {
+		return fmt.Errorf("campaign: nil target")
+	}
+	if cfg.LibrarySize < 10 || cfg.TrainSize < 10 {
+		return fmt.Errorf("campaign: library/train sizes too small (%d/%d)",
+			cfg.LibrarySize, cfg.TrainSize)
+	}
+	return nil
+}
+
+// newFunnelEngine builds the S1 docking engine wired to the config's
+// cache and cancellation, with the throughput default of Runs=2.
+func newFunnelEngine(cfg *Config) *dock.Engine {
 	eng := dock.NewEngine(cfg.Target, cfg.Seed^0xD0C)
 	if cfg.DockParams != nil {
 		eng.Params = *cfg.DockParams
@@ -216,93 +359,103 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	eng.Workers = cfg.Workers
 	eng.Cache = cfg.DockCache
 	eng.Cancel = cfg.Cancel
-	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
-	trainMols := materialize(trainIDs)
-	trainDocks := eng.DockBatch(trainMols)
-	if cfg.canceled() {
-		return nil, ErrCanceled
-	}
-	trainScores := make([]float64, len(trainDocks))
-	var dockFlops int64
-	for i, d := range trainDocks {
-		trainScores[i] = d.Score
-		dockFlops += d.Flops
-		res.Funnel.DockEvals += d.Evals
-		if d.Cached {
-			res.Funnel.DockCacheHits++
-		}
-	}
-	res.Counter.Add("S1", dockFlops, 0, int64(len(trainDocks)))
+	return eng
+}
 
-	// --- ML1 training: this iteration's sample plus the accumulated
-	// active-learning pool. ---
-	cfg.progress("ml1-train", 0.15)
+// fitSurrogate trains ML1 on this iteration's docking sample plus the
+// accumulated active-learning pool, recording the report on res.
+func fitSurrogate(cfg *Config, res *Result, trainMols []*chem.Molecule, trainScores []float64, pool *Pool) (*surrogate.Model, error) {
 	fitMols, fitScores := trainMols, trainScores
 	if pool != nil && pool.Size() > 0 {
 		fitMols = append(append([]*chem.Molecule{}, pool.Mols...), trainMols...)
 		fitScores = append(append([]float64{}, pool.Scores...), trainScores...)
 	}
 	model := surrogate.NewModel(cfg.Seed ^ 0x111)
-	tcfg := surrogate.DefaultTrainConfig()
-	rep, err := model.Fit(fitMols, fitScores, tcfg)
+	rep, err := model.Fit(fitMols, fitScores, surrogate.DefaultTrainConfig())
 	if err != nil {
 		return nil, fmt.Errorf("campaign: surrogate training: %w", err)
 	}
 	res.TrainReport = rep
 	res.Model = model
 	res.Counter.Add("ML1-train", rep.Flops, 0, int64(rep.Samples))
+	return model, nil
+}
 
-	// --- ML1 inference over the library. ---
-	cfg.progress("ml1-screen", 0.30)
-	if cfg.canceled() {
-		return nil, ErrCanceled
-	}
+// libraryIDs materializes the screen window's molecule IDs.
+func libraryIDs(lib *chem.Library) []uint64 {
 	ids := make([]uint64, lib.Size())
 	for i := range ids {
 		ids[i] = lib.IDAt(i)
 	}
-	preds := model.PredictIDsFrom(ids, cfg.Workers, cfg.Features)
-	res.Funnel.Screened = len(ids)
-	res.Counter.Add("ML1", model.InferenceFlops(len(ids)), 0, int64(len(ids)))
+	return ids
+}
 
-	// --- Selection for S1: predicted top fraction + random resample of
-	// the remainder (§7.1.1: "we also select about 15–20 % of compounds
-	// from the RES to the subsequent stages"). ---
-	nTop := max(1, int(cfg.TopFrac*float64(len(ids))))
-	topIdx := surrogate.TopK(preds, nTop)
-	selected := map[int]bool{}
-	for _, i := range topIdx {
-		selected[i] = true
-	}
-	nExtra := int(cfg.ResampleFrac * float64(nTop))
-	for len(selected) < nTop+nExtra && len(selected) < len(ids) {
-		selected[r.Intn(len(ids))] = true
-	}
-	dockIdx := make([]int, 0, len(selected))
-	for i := range selected {
-		dockIdx = append(dockIdx, i)
-	}
-	sort.Ints(dockIdx)
-	dockMols := make([]*chem.Molecule, len(dockIdx))
-	for i, j := range dockIdx {
-		dockMols[i] = chem.FromID(ids[j])
-	}
-	cfg.progress("s1-dock", 0.45)
-	res.DockResults = eng.DockBatch(dockMols)
-	if cfg.canceled() {
-		return nil, ErrCanceled
-	}
-	res.Funnel.Docked = len(res.DockResults) + len(trainDocks)
-	dockFlops = 0
-	for _, d := range res.DockResults {
-		dockFlops += d.Flops
+// tallyDocks folds a slice of docking results into the funnel's
+// consumed-work ledger, returning the scores and the flop total.
+func tallyDocks(res *Result, docks []dock.Result) (scores []float64, flops int64) {
+	scores = make([]float64, len(docks))
+	for i, d := range docks {
+		scores[i] = d.Score
+		flops += d.Flops
 		res.Funnel.DockEvals += d.Evals
 		if d.Cached {
 			res.Funnel.DockCacheHits++
 		}
 	}
-	res.Counter.Add("S1", dockFlops, 0, int64(len(res.DockResults)))
+	return scores, flops
+}
 
+// topCount is the size of the predicted-top selection for an n-compound
+// screen.
+func topCount(cfg *Config, n int) int {
+	return max(1, int(cfg.TopFrac*float64(n)))
+}
+
+// resampleIndices returns the random lower-rank resample draw of §7.1.1
+// ("we also select about 15–20 % of compounds from the RES to the
+// subsequent stages"). The draw comes from a dedicated RNG stream that
+// depends only on (seed, libOffset) — never on the predictions — so
+// every execution path selects the same extras, and the streaming path
+// can start docking them before ML1 has even finished training.
+// Duplicate draws and collisions with the predicted top set simply
+// yield fewer extras.
+func resampleIndices(cfg *Config, n int, libOffset uint64) []int {
+	nExtra := int(cfg.ResampleFrac * float64(topCount(cfg, n)))
+	rr := xrand.NewFrom(cfg.Seed+libOffset, 0x5E1)
+	out := make([]int, nExtra)
+	for j := range out {
+		out[j] = rr.Intn(n)
+	}
+	return out
+}
+
+// selectDockIdx computes the final S1 selection — predicted top fraction
+// plus the deterministic resample — as sorted library indices. Every
+// execution path (sequential, EnTK, streaming) calls this with the same
+// predictions and therefore docks the identical compound set.
+func selectDockIdx(cfg *Config, preds []float64, libOffset uint64) []int {
+	sel := map[int]bool{}
+	for _, i := range surrogate.TopK(preds, topCount(cfg, len(preds))) {
+		sel[i] = true
+	}
+	for _, i := range resampleIndices(cfg, len(preds), libOffset) {
+		sel[i] = true
+	}
+	idx := make([]int, 0, len(sel))
+	for i := range sel {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// runTail executes everything downstream of S1 — active-learning pool
+// feedback, RES analysis, diversity reduction, S3-CG, S2, S3-FG and the
+// oracle metrics — shared verbatim by the sequential and streaming paths
+// so their results stay byte-identical from the first docked pose on.
+func runTail(cfg *Config, res *Result, clk *funnelClock, model *surrogate.Model,
+	ids []uint64, trainMols []*chem.Molecule, trainScores []float64,
+	dockMols []*chem.Molecule, pool *Pool) error {
 	// Feed every docking label of this iteration back into the pool.
 	if pool != nil {
 		pool.Add(trainMols, trainScores)
@@ -331,6 +484,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		cgMols[i] = candidates[j]
 		cgPoses[i] = dockedPose(cfg.Target, cgMols[i], res.DockResults[bestDocked[j]])
 	}
+	clk.start("s3-cg")
 	cfg.progress("s3-cg", 0.60)
 	runner := esmacs.NewRunner(cfg.Target, cfg.Seed^0xE5)
 	runner.Workers = cfg.Workers
@@ -341,18 +495,20 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	}
 	for i, m := range cgMols {
 		if cfg.canceled() {
-			return nil, ErrCanceled
+			return ErrCanceled
 		}
 		est := runner.Estimate(m, cgPoses[i], cgProto)
 		res.CGEstimates = append(res.CGEstimates, est)
 		res.Counter.Add("S3-CG", est.Flops, 0, 1)
 	}
 	res.Funnel.CG = len(res.CGEstimates)
+	clk.stop("s3-cg")
 
 	// --- S2: 3D-AAE + LOF over the CG ensembles of the top compounds. ---
+	clk.start("s2")
 	cfg.progress("s2", 0.80)
 	if cfg.canceled() {
-		return nil, ErrCanceled
+		return ErrCanceled
 	}
 	sort.Slice(res.CGEstimates, func(a, b int) bool {
 		return res.CGEstimates[a].DeltaG < res.CGEstimates[b].DeltaG
@@ -368,26 +524,24 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 	}
 	s2rep, err := driver.Run(topEsts)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: S2: %w", err)
+		return fmt.Errorf("campaign: S2: %w", err)
 	}
 	res.S2Report = s2rep
 	res.Funnel.S2Frames = s2rep.Frames
 	res.Counter.Add("S2", s2rep.Flops, 0, int64(nTopC))
+	clk.stop("s2")
 
 	// --- S3-FG from the S2-selected outlier conformations. ---
+	clk.start("s3-fg")
 	cfg.progress("s3-fg", 0.90)
 	fgProto := esmacs.FG()
 	if cfg.FastProtocols {
 		fgProto = fastProto(fgProto, 80, 500)
 	}
-	cgByMol := map[uint64]esmacs.Estimate{}
-	for _, est := range topEsts {
-		cgByMol[est.MolID] = est
-	}
 	bestFG := map[uint64]esmacs.Estimate{}
 	for _, sel := range s2rep.Selections {
 		if cfg.canceled() {
-			return nil, ErrCanceled
+			return ErrCanceled
 		}
 		est := runner.Estimate(chem.FromID(sel.Ref.MolID), sel.Ligand, fgProto)
 		res.FGEstimates = append(res.FGEstimates, est)
@@ -397,6 +551,7 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		}
 	}
 	res.Funnel.FG = len(res.FGEstimates)
+	clk.stop("s3-fg")
 
 	// --- Fig. 6 comparison + oracle metrics. ---
 	for _, est := range topEsts {
@@ -412,8 +567,9 @@ func RunWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
 		})
 	}
 	res.ScientificYield = yield(cfg.Target, ids, cgMols)
+	clk.finish(&res.Funnel)
 	cfg.progress("done", 1.0)
-	return res, nil
+	return nil
 }
 
 // dockedPose reconstructs the bead positions of a docking result.
@@ -472,18 +628,4 @@ func materialize(ids []uint64) []*chem.Molecule {
 		out[i] = chem.FromID(id)
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -52,6 +52,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 
 	res := &Result{Counter: hpc.NewFlopCounter()}
 	pl.Counter = res.Counter
+	clk := newFunnelClock()
 	r := xrand.New(cfg.Seed)
 	lib := chem.NewLibrary("OZD", cfg.Seed^0x11B, 0, cfg.LibrarySize)
 
@@ -92,6 +93,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 
 	// --- Stage 1: offline docking of the training sample, chunked. ---
 	s1train := entk.NewStage("S1-train")
+	s1train.PostExec = func(p *entk.Pipeline) { clk.mark("s1-train") }
 	const chunk = 32
 	for at := 0; at < len(trainMols); at += chunk {
 		end := at + chunk
@@ -140,26 +142,10 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 			res.TrainReport = rep
 			res.Model = model
 			mu.Unlock()
-			ids := make([]uint64, lib.Size())
-			for i := range ids {
-				ids[i] = lib.IDAt(i)
-			}
+			clk.mark("ml1-train") // train/screen boundary inside the one ML1 task
+			ids := libraryIDs(lib)
 			preds := model.PredictIDsFrom(ids, cores, cfg.Features)
-			nTop := max(1, int(cfg.TopFrac*float64(len(ids))))
-			sel := map[int]bool{}
-			for _, i := range surrogate.TopK(preds, nTop) {
-				sel[i] = true
-			}
-			nExtra := int(cfg.ResampleFrac * float64(nTop))
-			rr := xrand.NewFrom(cfg.Seed, 0x5E1)
-			for len(sel) < nTop+nExtra && len(sel) < len(ids) {
-				sel[rr.Intn(len(ids))] = true
-			}
-			idx := make([]int, 0, len(sel))
-			for i := range sel {
-				idx = append(idx, i)
-			}
-			sort.Ints(idx)
+			idx := selectDockIdx(&cfg, preds, 0)
 			mu.Lock()
 			res.Funnel.Screened = len(ids)
 			for _, i := range idx {
@@ -172,6 +158,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 	// --- Stage 3: production docking. Tasks are added by the ML1
 	// stage's PostExec (the selection is only known at runtime). ---
 	ml1.PostExec = func(p *entk.Pipeline) {
+		clk.mark("ml1-screen")
 		if cfg.canceled() {
 			return // stop appending stages; Wait drains what's in flight
 		}
@@ -201,6 +188,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 		}
 		// After docking: diversity selection feeds the CG stage.
 		s1.PostExec = func(p *entk.Pipeline) {
+			clk.mark("s1-dock")
 			if cfg.canceled() {
 				return
 			}
@@ -240,6 +228,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 				})
 			}
 			cg.PostExec = func(p *entk.Pipeline) {
+				clk.mark("s3-cg")
 				if cfg.canceled() {
 					return
 				}
@@ -278,6 +267,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 				// Adaptive hand-off: the FG stage is appended only after
 				// S2 produced its selections (§5.2.1 adaptivity).
 				s2.PostExec = func(p *entk.Pipeline) {
+					clk.mark("s2")
 					if cfg.canceled() {
 						return
 					}
@@ -301,6 +291,7 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 						})
 					}
 					fg.PostExec = func(p *entk.Pipeline) {
+						clk.mark("s3-fg")
 						mu.Lock()
 						defer mu.Unlock()
 						res.FGEstimates = fgEsts
@@ -351,12 +342,9 @@ func RunViaEnTK(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("campaign: entk run: %d tasks failed (first: %s: %v)",
 			len(failed), failed[0].Name, failed[0].Err)
 	}
-	ids := make([]uint64, lib.Size())
-	for i := range ids {
-		ids[i] = lib.IDAt(i)
-	}
-	res.ScientificYield = yield(cfg.Target, ids, cgMols)
+	res.ScientificYield = yield(cfg.Target, libraryIDs(lib), cgMols)
 	res.PilotTrace = pl.UtilizationTrace()
+	clk.finish(&res.Funnel)
 	cfg.progress("done", 1.0)
 	return res, nil
 }

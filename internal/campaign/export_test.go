@@ -18,7 +18,7 @@ func TestExportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Funnel != res.Funnel {
+	if got.Funnel.Counts() != res.Funnel.Counts() {
 		t.Fatalf("funnel mismatch: %+v vs %+v", got.Funnel, res.Funnel)
 	}
 	if len(got.CG) != len(res.CGEstimates) || len(got.FG) != len(res.FGEstimates) {

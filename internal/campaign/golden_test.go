@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"testing"
+
+	"impeccable/internal/dock"
+	"impeccable/internal/receptor"
+)
+
+// goldenConfig is the fixed-seed campaign the golden-funnel regression
+// pins: small enough to run three times in one test, large enough that
+// every stage does real work.
+func goldenConfig() Config {
+	cfg := DefaultConfig(receptor.PLPro())
+	cfg.LibrarySize = 900
+	cfg.TrainSize = 150
+	cfg.CGCount = 5
+	cfg.TopCompounds = 2
+	cfg.OutliersPer = 2
+	cfg.Seed = 7
+	cfg.FastProtocols = true
+	p := dock.DefaultParams()
+	p.Runs = 1
+	p.Generations = 10
+	p.Population = 24
+	cfg.DockParams = &p
+	return cfg
+}
+
+// goldenDigest flattens the parts of a result that must be identical on
+// every execution path: funnel counts, the S1 dock ledger, the CG/FG
+// estimates and the final top-K compounds. Exact float equality is
+// intentional — the substrate's oracle and per-molecule seeding make the
+// paths bit-reproducible, and any divergence is a scheduling bug leaking
+// into the science.
+type goldenDigest struct {
+	counts  FunnelCounts
+	dockIDs []uint64
+	docks   []float64
+	cgIDs   []uint64
+	cgDGs   []float64
+	fgIDs   []uint64
+	fgDGs   []float64
+	topIDs  []uint64
+	topCG   []float64
+	topFG   []float64
+	yield   float64
+}
+
+func digest(res *Result) goldenDigest {
+	d := goldenDigest{counts: res.Funnel.Counts(), yield: res.ScientificYield}
+	for _, r := range res.DockResults {
+		d.dockIDs = append(d.dockIDs, r.MolID)
+		d.docks = append(d.docks, r.Score)
+	}
+	for _, e := range res.CGEstimates {
+		d.cgIDs = append(d.cgIDs, e.MolID)
+		d.cgDGs = append(d.cgDGs, e.DeltaG)
+	}
+	for _, e := range res.FGEstimates {
+		d.fgIDs = append(d.fgIDs, e.MolID)
+		d.fgDGs = append(d.fgDGs, e.DeltaG)
+	}
+	for _, tc := range res.Top {
+		d.topIDs = append(d.topIDs, tc.MolID)
+		d.topCG = append(d.topCG, tc.CG)
+		d.topFG = append(d.topFG, tc.FG)
+	}
+	return d
+}
+
+func compareDigests(t *testing.T, pathA, pathB string, a, b goldenDigest) {
+	t.Helper()
+	if a.counts != b.counts {
+		t.Errorf("%s vs %s: funnel counts differ:\n  %+v\n  %+v", pathA, pathB, a.counts, b.counts)
+	}
+	cmpU64 := func(name string, x, y []uint64) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Errorf("%s vs %s: %s length %d vs %d", pathA, pathB, name, len(x), len(y))
+			return
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Errorf("%s vs %s: %s[%d] = %016x vs %016x", pathA, pathB, name, i, x[i], y[i])
+				return
+			}
+		}
+	}
+	cmpF64 := func(name string, x, y []float64) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Errorf("%s vs %s: %s length %d vs %d", pathA, pathB, name, len(x), len(y))
+			return
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Errorf("%s vs %s: %s[%d] = %v vs %v", pathA, pathB, name, i, x[i], y[i])
+				return
+			}
+		}
+	}
+	cmpU64("dock mol IDs", a.dockIDs, b.dockIDs)
+	cmpF64("dock scores", a.docks, b.docks)
+	cmpU64("CG mol IDs", a.cgIDs, b.cgIDs)
+	cmpF64("CG dG", a.cgDGs, b.cgDGs)
+	cmpU64("FG mol IDs", a.fgIDs, b.fgIDs)
+	cmpF64("FG dG", a.fgDGs, b.fgDGs)
+	cmpU64("top-K mol IDs", a.topIDs, b.topIDs)
+	cmpF64("top-K CG", a.topCG, b.topCG)
+	cmpF64("top-K FG", a.topFG, b.topFG)
+	if a.yield != b.yield {
+		t.Errorf("%s vs %s: yield %v vs %v", pathA, pathB, a.yield, b.yield)
+	}
+}
+
+// TestGoldenFunnelAcrossPaths is the golden-funnel regression: the same
+// fixed-seed campaign must produce identical funnel counts, dock ledger
+// and top-K compound IDs whether it runs sequentially, as an EnTK
+// pipeline over a real pilot, or through the streaming dataflow. The
+// substrate's determinism (per-molecule RNG streams everywhere) makes
+// exact comparison possible; this is the contract every future
+// stage-overlap change must keep.
+func TestGoldenFunnelAcrossPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full (small) campaigns")
+	}
+	cfg := goldenConfig()
+
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entk, err := RunViaEnTK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := RunStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, de, dm := digest(seq), digest(entk), digest(stream)
+	compareDigests(t, "sequential", "entk", ds, de)
+	compareDigests(t, "sequential", "streaming", ds, dm)
+
+	if len(ds.topIDs) == 0 {
+		t.Fatal("golden campaign produced no top compounds")
+	}
+	if seq.Funnel.SpeculativeDocks != 0 || seq.Funnel.SpeculativeEvals != 0 {
+		t.Fatalf("sequential path reported speculation: %+v", seq.Funnel)
+	}
+	// The streaming schedule must still have produced the stage windows.
+	for _, stage := range []string{"s1-train", "ml1-train", "ml1-screen", "s1-dock", "s3-cg", "s2", "s3-fg"} {
+		if stream.Funnel.StageSeconds(stage) <= 0 {
+			t.Errorf("streaming path missing %s timing: %+v", stage, stream.Funnel.Timings)
+		}
+	}
+	// And the dock window must open before the screen closes — the
+	// overlap the streaming path exists to create.
+	dockStart, _, ok1 := stream.Funnel.StageWindow("s1-dock")
+	_, screenEnd, ok2 := stream.Funnel.StageWindow("ml1-screen")
+	if !ok1 || !ok2 || dockStart >= screenEnd {
+		t.Errorf("streaming dock window [%v..] does not overlap screen [..%v]", dockStart, screenEnd)
+	}
+	t.Logf("golden funnel: %+v", ds.counts)
+	t.Logf("streaming: overlap ratio %.2f, %d speculative docks (%d evals)",
+		stream.Funnel.OverlapRatio, stream.Funnel.SpeculativeDocks, stream.Funnel.SpeculativeEvals)
+}
+
+// TestGoldenFunnelStreamingDeterminism pins the streaming path against
+// itself: two runs with the same seed must be bit-identical even though
+// the interleaving of chunks and docks differs between runs.
+func TestGoldenFunnelStreamingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full (small) campaigns")
+	}
+	cfg := goldenConfig()
+	cfg.Workers = 4 // force real pipeline concurrency
+	a, err := RunStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDigests(t, "streaming-run-1", "streaming-run-2", digest(a), digest(b))
+}

@@ -1,0 +1,317 @@
+// streaming.go is the streaming funnel: ML1 screening and S1 docking
+// overlap through bounded channels instead of running as barriers. The
+// paper's whole premise is keeping six orders of magnitude of per-ligand
+// cost concurrently busy; this path is the single-campaign analogue —
+// docking workers pull candidates the moment the surrogate's running
+// top-K admits them, while the screen is still scoring the rest of the
+// library window.
+//
+// Scheduling changes, science does not: the final S1 selection is
+// recomputed exactly (selectDockIdx over the complete predictions), and
+// every per-molecule engine is seeded by molecule ID, so the results are
+// byte-identical to the sequential path. Speculation is the only waste:
+// a candidate that entered the running top-K but was later evicted may
+// already have docked; its cost is reported separately as
+// FunnelStats.SpeculativeDocks/SpeculativeEvals and kept out of the
+// consumed-work ledger. Speculation is gated until streamWarmup of the
+// screen has been seen, which bounds the expected waste to
+// topK·ln(1/streamWarmup) docks.
+package campaign
+
+import (
+	"sync"
+	"time"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/dock"
+	"impeccable/internal/hpc"
+	"impeccable/internal/surrogate"
+	"impeccable/internal/xrand"
+)
+
+const (
+	// streamChunk is the ML1 scoring granularity: small enough that
+	// worker load stays balanced and candidates reach the dock feed
+	// early, large enough that the forward pass stays batched.
+	streamChunk = 128
+	// streamBacklog bounds every pipeline channel (scored chunks,
+	// docking candidates, docking results), so a stalled consumer
+	// backpressures the producer instead of buffering the library.
+	streamBacklog = 64
+	// streamWarmup is the fraction of the screen that must be seen
+	// before running-top-K entrants are docked speculatively.
+	streamWarmup = 0.7
+)
+
+// runStreamingWithPool is RunWithPool's streaming dataflow. Stage
+// structure:
+//
+//	s1-train ──► ml1-train ──► ml1-screen ──► selection barrier
+//	                 │              │              │ (catch-up)
+//	                 ▼              ▼              ▼
+//	            [ dock feed: resample set, then top-K entrants ] ──► tail
+//
+// The dock workers start before ML1 training: the §7.1.1 random
+// resample is deterministic given (seed, libOffset), so those docks
+// overlap training; running-top-K survivors then overlap the screen.
+func runStreamingWithPool(cfg Config, pool *Pool, libOffset uint64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Counter: hpc.NewFlopCounter()}
+	clk := newFunnelClock()
+	r := xrand.New(cfg.Seed + libOffset)
+	lib := chem.NewLibrary("OZD", cfg.Seed^0x11B, libOffset, cfg.LibrarySize)
+
+	// --- S1 training docking: the funnel's one hard barrier (labels
+	// gate ML1 training), identical to the sequential path. ---
+	clk.start("s1-train")
+	cfg.progress("s1-train", 0.02)
+	eng := newFunnelEngine(&cfg)
+	trainIDs := lib.Sample(r, min(cfg.TrainSize, lib.Size()))
+	trainMols := materialize(trainIDs)
+	trainDocks := eng.DockBatch(trainMols)
+	clk.stop("s1-train")
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+	trainScores, dockFlops := tallyDocks(res, trainDocks)
+	res.Counter.Add("S1", dockFlops, 0, int64(len(trainDocks)))
+
+	ids := libraryIDs(lib)
+	resample := resampleIndices(&cfg, len(ids), libOffset)
+	nSel := topCount(&cfg, len(ids)) + len(resample)
+
+	// --- Dock feed: workers start now, so the resample set docks while
+	// ML1 trains and top-K survivors dock while the screen runs. ---
+	clk.start("s1-dock")
+	candCh := make(chan *chem.Molecule, streamBacklog)
+	resCh := eng.DockStream(candCh, streamBacklog)
+	closeCands := sync.OnceFunc(func() { close(candCh) })
+
+	// Collector: owns the result map until the feed closes; reports
+	// interleaved s1-dock progress while the screen is still running.
+	byID := make(map[uint64]dock.Result)
+	collDone := make(chan struct{})
+	go func() {
+		defer close(collDone)
+		n := 0
+		for d := range resCh {
+			byID[d.MolID] = d
+			n++
+			frac := float64(n) / float64(max(nSel, 1))
+			cfg.progress("s1-dock", 0.45+0.1*min(1.0, frac))
+		}
+	}()
+
+	sent := make(map[int]bool)
+	sendCand := func(i int) {
+		if sent[i] {
+			return
+		}
+		sent[i] = true
+		select {
+		case candCh <- chem.FromID(ids[i]):
+		case <-cfg.Cancel: // nil Cancel: case never fires, send proceeds
+		}
+	}
+	abort := func() (*Result, error) {
+		closeCands()
+		<-collDone
+		return nil, ErrCanceled
+	}
+
+	// Resample extras depend only on (seed, libOffset) — dock them now,
+	// overlapped with ML1 training.
+	for _, i := range resample {
+		sendCand(i)
+	}
+
+	// --- ML1 training (+ accumulated pool), overlapped with the
+	// resample docks. ---
+	clk.start("ml1-train")
+	cfg.progress("ml1-train", 0.15)
+	model, err := fitSurrogate(&cfg, res, trainMols, trainScores, pool)
+	if err != nil {
+		closeCands()
+		<-collDone
+		return nil, err
+	}
+	clk.stop("ml1-train")
+	if cfg.canceled() {
+		return abort()
+	}
+
+	// --- ML1 streaming screen, overlapped with speculative docking of
+	// running-top-K entrants once the stream has warmed up. ---
+	clk.start("ml1-screen")
+	cfg.progress("ml1-screen", 0.30)
+	preds := make([]float64, len(ids))
+	topk := surrogate.NewRunningTopK(topCount(&cfg, len(ids)))
+	warmAt := int(streamWarmup * float64(len(ids)))
+	seen, warmed := 0, false
+	for ck := range model.PredictIDsStream(ids, cfg.Workers, streamChunk, cfg.Features, cfg.Cancel) {
+		copy(preds[ck.Start:ck.Start+len(ck.Scores)], ck.Scores)
+		for off, s := range ck.Scores {
+			i := ck.Start + off
+			entered := topk.Offer(i, s)
+			if warmed && entered {
+				sendCand(i)
+			}
+		}
+		seen += len(ck.Scores)
+		if !warmed && seen >= warmAt {
+			warmed = true
+			for _, i := range topk.Indices() {
+				sendCand(i)
+			}
+		}
+		cfg.progress("ml1-screen", 0.30+0.15*float64(seen)/float64(len(ids)))
+	}
+	if cfg.canceled() {
+		return abort()
+	}
+	res.Funnel.Screened = len(ids)
+	res.Counter.Add("ML1", model.InferenceFlops(len(ids)), 0, int64(len(ids)))
+	clk.stop("ml1-screen")
+
+	// --- Selection barrier: the exact, path-invariant S1 selection over
+	// the complete predictions; catch up on anything speculation missed,
+	// then close the feed and drain. ---
+	dockIdx := selectDockIdx(&cfg, preds, libOffset)
+	for _, i := range dockIdx {
+		sendCand(i)
+	}
+	closeCands()
+	<-collDone
+	clk.stop("s1-dock")
+	if cfg.canceled() {
+		return nil, ErrCanceled
+	}
+
+	dockMols := make([]*chem.Molecule, len(dockIdx))
+	res.DockResults = make([]dock.Result, len(dockIdx))
+	used := make(map[uint64]bool, len(dockIdx))
+	for k, i := range dockIdx {
+		dockMols[k] = chem.FromID(ids[i])
+		res.DockResults[k] = byID[ids[i]]
+		used[ids[i]] = true
+	}
+	res.Funnel.Docked = len(res.DockResults) + len(trainDocks)
+	_, dockFlops = tallyDocks(res, res.DockResults)
+	res.Counter.Add("S1", dockFlops, 0, int64(len(res.DockResults)))
+	for id, d := range byID {
+		if !used[id] {
+			res.Funnel.SpeculativeDocks++
+			res.Funnel.SpeculativeEvals += d.Evals
+		}
+	}
+
+	if err := runTail(&cfg, res, clk, model, ids, trainMols, trainScores, dockMols, pool); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// funnelClock accumulates per-stage wall-clock windows; safe for
+// concurrent use (the streaming path stamps stages from several
+// goroutines' perspectives).
+type funnelClock struct {
+	mu   sync.Mutex
+	t0   time.Time
+	last time.Time
+	open map[string]time.Time
+	sp   []StageTiming
+}
+
+func newFunnelClock() *funnelClock {
+	now := time.Now()
+	return &funnelClock{t0: now, last: now, open: map[string]time.Time{}}
+}
+
+// start opens a stage window.
+func (c *funnelClock) start(stage string) {
+	c.mu.Lock()
+	c.open[stage] = time.Now()
+	c.mu.Unlock()
+}
+
+// stop closes a stage window opened by start.
+func (c *funnelClock) stop(stage string) {
+	now := time.Now()
+	c.mu.Lock()
+	if at, ok := c.open[stage]; ok {
+		delete(c.open, stage)
+		c.sp = append(c.sp, StageTiming{
+			Stage:   stage,
+			StartS:  at.Sub(c.t0).Seconds(),
+			Seconds: now.Sub(at).Seconds(),
+		})
+	}
+	c.mu.Unlock()
+}
+
+// mark records a window from the previous mark (or the clock's birth) to
+// now — the boundary-only instrumentation the EnTK path uses, where
+// stage starts are not directly hookable.
+func (c *funnelClock) mark(stage string) {
+	now := time.Now()
+	c.mu.Lock()
+	c.sp = append(c.sp, StageTiming{
+		Stage:   stage,
+		StartS:  c.last.Sub(c.t0).Seconds(),
+		Seconds: now.Sub(c.last).Seconds(),
+	})
+	c.last = now
+	c.mu.Unlock()
+}
+
+// finish stamps the stats with the recorded windows, the total
+// wall-clock and the overlap ratio.
+func (c *funnelClock) finish(f *FunnelStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f.Timings = append([]StageTiming(nil), c.sp...)
+	f.WallSeconds = time.Since(c.t0).Seconds()
+	var sum float64
+	for _, s := range c.sp {
+		sum += s.Seconds
+	}
+	if f.WallSeconds > 0 {
+		f.OverlapRatio = sum / f.WallSeconds
+	}
+}
+
+// StageSeconds sums the wall-clock of the named stages (a convenience
+// for benchmarks comparing schedules).
+func (f FunnelStats) StageSeconds(stages ...string) float64 {
+	var sum float64
+	for _, t := range f.Timings {
+		for _, s := range stages {
+			if t.Stage == s {
+				sum += t.Seconds
+			}
+		}
+	}
+	return sum
+}
+
+// StageWindow returns the earliest start and latest end over the named
+// stages (offsets from campaign start); ok is false when none recorded.
+func (f FunnelStats) StageWindow(stages ...string) (start, end float64, ok bool) {
+	for _, t := range f.Timings {
+		for _, s := range stages {
+			if t.Stage != s {
+				continue
+			}
+			if !ok || t.StartS < start {
+				start = t.StartS
+			}
+			if e := t.StartS + t.Seconds; !ok || e > end {
+				end = e
+			}
+			ok = true
+		}
+	}
+	return start, end, ok
+}

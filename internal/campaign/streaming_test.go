@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"errors"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"impeccable/internal/dock"
+	"impeccable/internal/receptor"
+)
+
+// tinyStreamConfig is a campaign small enough that cancellation tests
+// run in -short mode (and under -race in CI).
+func tinyStreamConfig() Config {
+	cfg := DefaultConfig(receptor.PLPro())
+	cfg.LibrarySize = 240
+	cfg.TrainSize = 24
+	cfg.CGCount = 2
+	cfg.TopCompounds = 1
+	cfg.OutliersPer = 1
+	cfg.FastProtocols = true
+	cfg.Streaming = true
+	cfg.Workers = 2
+	p := dock.DefaultParams()
+	p.Runs = 1
+	p.Generations = 6
+	p.Population = 16
+	cfg.DockParams = &p
+	return cfg
+}
+
+// requireNoPipelineGoroutines fails unless the goroutine count settles
+// back to the pre-campaign baseline — the leak detector for the
+// streaming pipeline's worker/collector goroutines.
+func requireNoPipelineGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var buf strings.Builder
+	_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+	t.Fatalf("goroutines leaked: %d live vs baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf.String())
+}
+
+// cancelAtStage runs a streaming campaign whose cancel channel closes
+// the first time the progress observer reports the given stage, then
+// verifies ErrCanceled and zero leaked goroutines.
+func cancelAtStage(t *testing.T, stage string) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	cancel := make(chan struct{})
+	var once sync.Once
+	cfg := tinyStreamConfig()
+	cfg.Cancel = cancel
+	cfg.Progress = func(s string, frac float64) {
+		if s == stage {
+			once.Do(func() { close(cancel) })
+		}
+	}
+	res, err := RunWithPool(cfg, nil, 0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancel at %q: err = %v, res = %v", stage, err, res)
+	}
+	requireNoPipelineGoroutines(t, baseline)
+}
+
+func TestStreamingCancelDuringTrainDock(t *testing.T) { cancelAtStage(t, "s1-train") }
+func TestStreamingCancelDuringML1Train(t *testing.T)  { cancelAtStage(t, "ml1-train") }
+func TestStreamingCancelMidScreen(t *testing.T)       { cancelAtStage(t, "ml1-screen") }
+func TestStreamingCancelDuringDockFeed(t *testing.T)  { cancelAtStage(t, "s1-dock") }
+func TestStreamingCancelBetweenStages(t *testing.T)   { cancelAtStage(t, "s3-cg") }
+
+// TestStreamingCancelAlreadyClosed covers the degenerate case: a cancel
+// channel closed before the campaign starts.
+func TestStreamingCancelAlreadyClosed(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg := tinyStreamConfig()
+	cfg.Cancel = cancel
+	if _, err := RunWithPool(cfg, nil, 0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v", err)
+	}
+	requireNoPipelineGoroutines(t, baseline)
+}
+
+// TestStreamingCompletesWithoutLeaks runs a full streaming campaign to
+// completion and verifies every pipeline goroutine retired.
+func TestStreamingCompletesWithoutLeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full (tiny) campaign")
+	}
+	baseline := runtime.NumGoroutine()
+	res, err := RunWithPool(tinyStreamConfig(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Funnel.Screened != 240 || res.Funnel.CG == 0 {
+		t.Fatalf("funnel = %+v", res.Funnel)
+	}
+	if res.Funnel.OverlapRatio <= 0 {
+		t.Fatalf("no overlap ratio recorded: %+v", res.Funnel)
+	}
+	requireNoPipelineGoroutines(t, baseline)
+}
+
+// TestStreamingValidation mirrors the sequential path's config checks.
+func TestStreamingValidation(t *testing.T) {
+	cfg := tinyStreamConfig()
+	cfg.Target = nil
+	if _, err := RunWithPool(cfg, nil, 0); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	cfg = tinyStreamConfig()
+	cfg.LibrarySize = 5
+	if _, err := RunWithPool(cfg, nil, 0); err == nil {
+		t.Fatal("tiny library accepted")
+	}
+}
+
+// TestStreamingPoolFeedback verifies the streaming path feeds docking
+// labels into the active-learning pool exactly like the sequential path.
+func TestStreamingPoolFeedback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full (tiny) campaigns")
+	}
+	cfg := tinyStreamConfig()
+	cfg.Streaming = false
+	seqPool := &Pool{}
+	if _, err := RunWithPool(cfg, seqPool, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Streaming = true
+	strPool := &Pool{}
+	if _, err := RunWithPool(cfg, strPool, 0); err != nil {
+		t.Fatal(err)
+	}
+	if seqPool.Size() != strPool.Size() || seqPool.Size() == 0 {
+		t.Fatalf("pool sizes differ: %d vs %d", seqPool.Size(), strPool.Size())
+	}
+	for i := range seqPool.Scores {
+		if seqPool.Scores[i] != strPool.Scores[i] || seqPool.Mols[i].ID != strPool.Mols[i].ID {
+			t.Fatalf("pool entry %d differs", i)
+		}
+	}
+}

@@ -48,26 +48,12 @@ func Overlap(a, b *Library) int {
 	if a.Universe != b.Universe {
 		return 0
 	}
-	lo := max64(a.Offset, b.Offset)
-	hi := min64(a.Offset+uint64(a.Count), b.Offset+uint64(b.Count))
+	lo := max(a.Offset, b.Offset)
+	hi := min(a.Offset+uint64(a.Count), b.Offset+uint64(b.Count))
 	if hi <= lo {
 		return 0
 	}
 	return int(hi - lo)
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // StandardLibraries builds the paper's two screening libraries at a given

@@ -1,0 +1,59 @@
+package dock
+
+import (
+	"runtime"
+	"sync"
+
+	"impeccable/internal/chem"
+)
+
+// DockStream is the channel-fed counterpart of DockBatch: a worker pool
+// docks molecules as they arrive on in and delivers each Result on the
+// returned bounded channel the moment it completes, in completion (not
+// submission) order. This is the S1 half of the streaming funnel — the
+// producer is typically the ML1 screen's running top-K, so docking
+// overlaps screening instead of waiting behind it.
+//
+// The result channel has capacity buf (values < 1 become 1), so a slow
+// consumer exerts backpressure on the dock workers, which in turn stall
+// the producer through in — the whole pipeline is memory-bounded.
+//
+// Shutdown contract: the result channel is closed once in is closed and
+// every accepted molecule has been docked or discarded; the workers
+// never outlive the stream. If the engine's Cancel channel closes,
+// workers stop docking but keep draining in until it closes (so a
+// producer blocked on send is always released), discarding molecules
+// without spending evaluations.
+func (e *Engine) DockStream(in <-chan *chem.Molecule, buf int) <-chan Result {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	out := make(chan Result, buf)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range in {
+				if e.canceled() {
+					continue // drain without docking
+				}
+				r := e.DockOne(m)
+				select {
+				case out <- r:
+				case <-e.Cancel:
+					// Consumer may be gone; fall through to draining.
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

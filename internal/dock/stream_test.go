@@ -1,0 +1,157 @@
+package dock
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/receptor"
+)
+
+func fastStreamEngine(cancel <-chan struct{}) *Engine {
+	e := NewEngine(receptor.PLPro(), 1)
+	e.Params.Runs = 1
+	e.Params.Generations = 6
+	e.Params.Population = 16
+	e.Workers = 2
+	e.Cancel = cancel
+	return e
+}
+
+// TestDockStreamMatchesBatch: every molecule fed to the stream docks to
+// the same result as the batch path (per-molecule RNG streams make dock
+// results order-independent).
+func TestDockStreamMatchesBatch(t *testing.T) {
+	mols := make([]*chem.Molecule, 10)
+	for i := range mols {
+		mols[i] = chem.FromID(uint64(1000 + i))
+	}
+	want := map[uint64]Result{}
+	for _, r := range fastStreamEngine(nil).DockBatch(mols) {
+		want[r.MolID] = r
+	}
+
+	in := make(chan *chem.Molecule)
+	out := fastStreamEngine(nil).DockStream(in, 4)
+	go func() {
+		for _, m := range mols {
+			in <- m
+		}
+		close(in)
+	}()
+	n := 0
+	for r := range out {
+		n++
+		w, ok := want[r.MolID]
+		if !ok {
+			t.Fatalf("unexpected result for %016x", r.MolID)
+		}
+		if r.Score != w.Score || r.Evals != w.Evals {
+			t.Fatalf("mol %016x: stream (%v, %d) vs batch (%v, %d)",
+				r.MolID, r.Score, r.Evals, w.Score, w.Evals)
+		}
+	}
+	if n != len(mols) {
+		t.Fatalf("stream delivered %d of %d results", n, len(mols))
+	}
+}
+
+// TestDockStreamCancelReleasesProducer: after cancel, workers must keep
+// draining the input (so a blocked producer is released) and the result
+// channel must close once the input closes — with no leaked goroutines.
+func TestDockStreamCancelReleasesProducer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cancel := make(chan struct{})
+	e := fastStreamEngine(cancel)
+	in := make(chan *chem.Molecule) // unbuffered: producer blocks on workers
+	out := e.DockStream(in, 1)
+
+	in <- chem.FromID(9999)
+	<-out // one real result, workers proven live
+	close(cancel)
+
+	// Producer keeps pushing; draining workers must accept everything.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			in <- chem.FromID(uint64(i))
+		}
+		close(in)
+	}()
+	n := 0
+	for range out {
+		n++
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer still blocked after cancel")
+	}
+	if n >= 500 {
+		t.Fatalf("workers kept docking after cancel: %d results", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("dock workers leaked: %d vs baseline %d", g, baseline)
+	}
+}
+
+// TestDockStreamCachePopulation: a cache attached to the engine is
+// populated mid-stream, so a later batch over the same molecules is
+// served from it.
+func TestDockStreamCachePopulation(t *testing.T) {
+	cache := &mapCache{m: map[uint64]Result{}}
+	e := fastStreamEngine(nil)
+	e.Cache = cache
+
+	in := make(chan *chem.Molecule, 4)
+	out := e.DockStream(in, 4)
+	for i := 0; i < 4; i++ {
+		in <- chem.FromID(uint64(2000 + i))
+	}
+	close(in)
+	for range out {
+	}
+	if n := cache.len(); n != 4 {
+		t.Fatalf("cache holds %d entries, want 4", n)
+	}
+	// Same molecules again: all hits, zero new evaluations.
+	e2 := fastStreamEngine(nil)
+	e2.Cache = cache
+	for _, r := range e2.DockIDs([]uint64{2000, 2001, 2002, 2003}) {
+		if !r.Cached || r.Evals != 0 {
+			t.Fatalf("expected cache hit, got %+v", r)
+		}
+	}
+}
+
+// mapCache is a minimal concurrency-safe ScoreCache for tests.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[uint64]Result
+}
+
+func (c *mapCache) Get(m *chem.Molecule) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[m.ID]
+	return r, ok
+}
+
+func (c *mapCache) Put(m *chem.Molecule, r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[m.ID] = r
+}
+
+func (c *mapCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

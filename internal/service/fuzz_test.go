@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/dock"
+)
+
+// fuzzResultFor derives the canonical docking result for a molecule from
+// its fingerprint. The cache is keyed by (target, fingerprint), so two
+// molecules with colliding fingerprints MUST map to the same value —
+// deriving the value from the fingerprint itself makes every interleaving
+// of Puts produce a value any Get is allowed to observe.
+func fuzzResultFor(m *chem.Molecule) dock.Result {
+	fp := m.FP()
+	return dock.Result{
+		MolID:  m.ID,
+		Score:  -float64(fp[0]%1000) / 10,
+		Evals:  int64(fp[0] % 97),
+		Genome: []float64{float64(fp[0] % 7)},
+	}
+}
+
+// decodeIDs turns fuzz bytes into a molecule-ID op sequence.
+func decodeIDs(data []byte) []uint64 {
+	ids := make([]uint64, 0, len(data)/3+1)
+	for at := 0; at < len(data); at += 3 {
+		end := at + 3
+		if end > len(data) {
+			end = len(data)
+		}
+		var buf [8]byte
+		copy(buf[:], data[at:end])
+		// A tiny ID universe forces key reuse (Get-after-Put hits) and,
+		// because fingerprints hash a small structure space, occasional
+		// fingerprint collisions between distinct IDs.
+		ids = append(ids, binary.LittleEndian.Uint64(buf[:])%512)
+	}
+	return ids
+}
+
+// scoreCacheBound is the cache's worst-case entry capacity for a
+// maxEntries request (per-shard ceilings round up).
+func scoreCacheBound(shards, maxEntries int) int {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if n < 1 {
+		n = 16
+	}
+	return n * ((maxEntries + n - 1) / n)
+}
+
+// FuzzScoreCache drives the sharded score cache with an arbitrary op
+// sequence split across two goroutines and checks the invariants that
+// must hold under every interleaving: a Get hit always returns the
+// canonical value for that fingerprint (Get-after-Put round-trips,
+// collisions included), the entry count respects the capacity bound, and
+// the hit/miss/put counters stay coherent.
+func FuzzScoreCache(f *testing.F) {
+	f.Add([]byte{}, uint8(4), uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1), uint8(8))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00}, uint8(64), uint8(3))
+	f.Add([]byte("get-after-put-get-after-put"), uint8(2), uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte, capByte uint8) {
+		shards := int(shardByte)%32 + 1
+		maxEntries := int(capByte) // 0 = unbounded
+		c := NewScoreCache(shards, maxEntries)
+		ids := decodeIDs(data)
+
+		run := func(ids []uint64) {
+			for i, id := range ids {
+				m := chem.FromID(id)
+				want := fuzzResultFor(m)
+				if i%2 == 0 {
+					c.put("PLPro", m, want)
+				}
+				if got, ok := c.get("PLPro", m); ok {
+					if got.Score != want.Score || got.Evals != want.Evals {
+						t.Errorf("get(%d) = (%v,%d), want (%v,%d)",
+							id, got.Score, got.Evals, want.Score, want.Evals)
+					}
+					// The handed-out genome must be a private copy.
+					if len(got.Genome) > 0 {
+						got.Genome[0] = -12345
+					}
+					if again, ok2 := c.get("PLPro", m); ok2 && len(again.Genome) > 0 && again.Genome[0] == -12345 {
+						t.Error("cache handed out shared genome backing memory")
+					}
+				}
+			}
+		}
+		// Arbitrary interleaving: both halves run concurrently over an
+		// overlapping ID universe.
+		var wg sync.WaitGroup
+		half := len(ids) / 2
+		for _, part := range [][]uint64{ids[:half], ids[half:]} {
+			wg.Add(1)
+			go func(p []uint64) {
+				defer wg.Done()
+				run(p)
+			}(part)
+		}
+		wg.Wait()
+
+		st := c.Stats()
+		if maxEntries > 0 {
+			if bound := scoreCacheBound(shards, maxEntries); st.Entries > bound {
+				t.Errorf("entries %d exceed capacity bound %d (shards=%d max=%d)",
+					st.Entries, bound, shards, maxEntries)
+			}
+		}
+		if st.Hits+st.Misses < int64(len(ids)) && len(ids) > 0 {
+			t.Errorf("counter loss: %d lookups recorded for %d ops", st.Hits+st.Misses, len(ids))
+		}
+		if st.Entries > 0 && st.Puts == 0 {
+			t.Error("entries present with zero puts")
+		}
+	})
+}
+
+// FuzzFeatureCache checks the feature cache under arbitrary concurrent
+// ID sequences: every returned vector must equal the canonical
+// featurization, and the entry count must respect the capacity bound.
+func FuzzFeatureCache(f *testing.F) {
+	f.Add([]byte{}, uint8(4), uint8(0))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 1, 2, 3}, uint8(8), uint8(4))
+	f.Add([]byte("feature-roundtrip"), uint8(1), uint8(64))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte, capByte uint8) {
+		shards := int(shardByte)%32 + 1
+		maxEntries := int(capByte)
+		c := NewFeatureCache(shards, maxEntries)
+		ids := decodeIDs(data)
+
+		run := func(ids []uint64) {
+			for _, id := range ids {
+				got := c.Features(id)
+				want := chem.FromID(id).FeatureVector()
+				if len(got) != len(want) {
+					t.Errorf("Features(%d): %d dims, want %d", id, len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("Features(%d)[%d] = %v, want %v", id, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		half := len(ids) / 2
+		for _, part := range [][]uint64{ids[:half], ids[half:]} {
+			wg.Add(1)
+			go func(p []uint64) {
+				defer wg.Done()
+				run(p)
+			}(part)
+		}
+		wg.Wait()
+
+		st := c.Stats()
+		if maxEntries > 0 {
+			if bound := scoreCacheBound(shards, maxEntries); st.Entries > bound {
+				t.Errorf("entries %d exceed capacity bound %d", st.Entries, bound)
+			}
+		}
+	})
+}

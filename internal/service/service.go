@@ -31,6 +31,11 @@ type Options struct {
 	// Targets are the receptors the service accepts campaigns against;
 	// nil means receptor.StandardTargets().
 	Targets []*receptor.Target
+	// Streaming routes every job through the streaming funnel
+	// (campaign.Config.Streaming): ML1 screening and S1 docking overlap,
+	// and the sharded score/feature caches are read and populated
+	// mid-stream. Individual submissions can also opt in per job.
+	Streaming bool
 }
 
 // Service is a long-lived, multi-tenant campaign evaluation service:
@@ -42,8 +47,9 @@ type Service struct {
 	features   *FeatureCache
 	targets    map[string]*receptor.Target
 	sched      *scheduler
-	workers    int // per-campaign worker width
-	maxResults int // full campaign results retained; <0 = unbounded
+	workers    int  // per-campaign worker width
+	maxResults int  // full campaign results retained; <0 = unbounded
+	streaming  bool // route all jobs through the streaming funnel
 	started    time.Time
 }
 
@@ -59,6 +65,10 @@ type SubmitRequest struct {
 	Seed          uint64 `json:"seed,omitempty"`
 	LibOffset     uint64 `json:"lib_offset,omitempty"` // library window start
 	FastProtocols bool   `json:"fast_protocols,omitempty"`
+	// Streaming opts this job into the streaming funnel (overlapped ML1
+	// screening and S1 docking); implied when the service itself was
+	// built with Options.Streaming.
+	Streaming bool `json:"streaming,omitempty"`
 }
 
 // jobResult pairs the campaign result with the serializable summary.
@@ -103,6 +113,7 @@ func NewService(opts Options) *Service {
 		targets:    make(map[string]*receptor.Target, len(targets)),
 		workers:    opts.CampaignWorkers,
 		maxResults: maxResults,
+		streaming:  opts.Streaming,
 		started:    time.Now(),
 	}
 	for _, t := range targets {
@@ -183,6 +194,7 @@ func (s *Service) configFor(j *job) campaign.Config {
 		cfg.Seed = j.req.Seed
 	}
 	cfg.FastProtocols = j.req.FastProtocols
+	cfg.Streaming = j.req.Streaming || s.streaming
 	cfg.Workers = s.workers
 	cfg.DockCache = s.scores.ForTarget(t.Name)
 	cfg.Features = s.features

@@ -1,0 +1,197 @@
+package surrogate
+
+import (
+	"runtime"
+	"sync"
+
+	"impeccable/internal/chem"
+	"impeccable/internal/nn"
+)
+
+// ScoredChunk is one contiguous run of streaming-inference results:
+// Scores[j] is the surrogate score of ids[Start+j] in the id slice handed
+// to PredictIDsStream. Chunks arrive in arbitrary order (whichever worker
+// finishes first sends first), but each chunk's scores are bit-identical
+// to the batch path's — forward passes are row-independent, so chunking
+// never perturbs a prediction.
+type ScoredChunk struct {
+	Start  int
+	Scores []float64
+}
+
+// PredictIDsStream is the streaming counterpart of PredictIDsFrom: it
+// scores ids over a worker pool and delivers each chunk on the returned
+// bounded channel as soon as its forward pass completes, instead of
+// waiting for the whole library window. This is what lets a consumer
+// (the campaign's streaming funnel) overlap downstream work — docking
+// the running top-K — with the remainder of the screen.
+//
+// The channel has capacity 2×workers, so a slow consumer exerts
+// backpressure on the screen rather than buffering the library in
+// memory. The channel is closed when every id has been scored or cancel
+// closes, whichever comes first; the producer goroutines never outlive
+// the stream. src nil means materialize molecules on the fly; chunk ≤ 0
+// uses a default sized for pipeline granularity (much finer than the
+// batch path's shard, so worker load stays balanced near the stream
+// tail).
+func (m *Model) PredictIDsStream(ids []uint64, workers, chunk int, src FeatureSource, cancel <-chan struct{}) <-chan ScoredChunk {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if chunk <= 0 {
+		chunk = 128
+	}
+	if src == nil {
+		src = materializeSource{}
+	}
+	out := make(chan ScoredChunk, 2*workers)
+	canceled := func() bool {
+		if cancel == nil {
+			return false
+		}
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			priv := m.cloneForInference()
+			for {
+				mu.Lock()
+				at := next
+				next += chunk
+				mu.Unlock()
+				if at >= len(ids) || canceled() {
+					return
+				}
+				end := at + chunk
+				if end > len(ids) {
+					end = len(ids)
+				}
+				scores := make([]float64, end-at)
+				priv.predictInto(ids[at:end], src, scores)
+				select {
+				case out <- ScoredChunk{Start: at, Scores: scores}:
+				case <-cancel:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// predictInto scores ids into out (len(out) == len(ids)).
+func (m *Model) predictInto(ids []uint64, src FeatureSource, out []float64) {
+	x := nn.NewMat(len(ids), chem.FeatureDim)
+	for i, id := range ids {
+		copy(x.Row(i), src.Features(id))
+	}
+	pred := m.net.Forward(x)
+	for i := range out {
+		out[i] = pred.At(i, 0)
+	}
+}
+
+// RunningTopK maintains the running top-k of a scored stream with a
+// bounded min-heap: the root is the current k-th best score, so an offer
+// is accepted (and the root evicted) exactly when it beats the running
+// threshold. This is the streaming funnel's speculation oracle — a
+// candidate that enters the running top-k is worth docking before the
+// screen finishes, because it is in the final top-k unless a later
+// candidate evicts it.
+type RunningTopK struct {
+	k      int
+	scores []float64 // min-heap by score
+	idx    []int     // idx[i] is the stream index of scores[i]
+}
+
+// NewRunningTopK builds a tracker for the top k scores (k ≥ 1).
+func NewRunningTopK(k int) *RunningTopK {
+	if k < 1 {
+		k = 1
+	}
+	return &RunningTopK{k: k}
+}
+
+// Offer considers (index, score) and reports whether it is now a member
+// of the running top-k.
+func (t *RunningTopK) Offer(index int, score float64) bool {
+	if len(t.scores) < t.k {
+		t.scores = append(t.scores, score)
+		t.idx = append(t.idx, index)
+		t.up(len(t.scores) - 1)
+		return true
+	}
+	if score <= t.scores[0] {
+		return false
+	}
+	t.scores[0], t.idx[0] = score, index
+	t.down(0)
+	return true
+}
+
+// Len returns the current member count (≤ k).
+func (t *RunningTopK) Len() int { return len(t.scores) }
+
+// Threshold returns the current k-th best score (the eviction bar), or
+// -Inf semantics via ok=false while the heap is not yet full.
+func (t *RunningTopK) Threshold() (float64, bool) {
+	if len(t.scores) < t.k {
+		return 0, false
+	}
+	return t.scores[0], true
+}
+
+// Indices returns the stream indices of the current members, in no
+// particular order. The slice is freshly allocated.
+func (t *RunningTopK) Indices() []int {
+	return append([]int(nil), t.idx...)
+}
+
+func (t *RunningTopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.scores[p] <= t.scores[i] {
+			break
+		}
+		t.swap(p, i)
+		i = p
+	}
+}
+
+func (t *RunningTopK) down(i int) {
+	n := len(t.scores)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.scores[l] < t.scores[small] {
+			small = l
+		}
+		if r < n && t.scores[r] < t.scores[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.swap(small, i)
+		i = small
+	}
+}
+
+func (t *RunningTopK) swap(a, b int) {
+	t.scores[a], t.scores[b] = t.scores[b], t.scores[a]
+	t.idx[a], t.idx[b] = t.idx[b], t.idx[a]
+}

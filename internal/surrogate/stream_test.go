@@ -1,0 +1,128 @@
+package surrogate
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"impeccable/internal/xrand"
+)
+
+// TestPredictIDsStreamMatchesBatch: chunked streaming inference must be
+// bit-identical to the batch path — forward passes are row-independent.
+func TestPredictIDsStreamMatchesBatch(t *testing.T) {
+	m := NewModel(3)
+	r := xrand.New(9)
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = r.Uint64()
+	}
+	want := m.PredictIDs(ids, 2)
+
+	got := make([]float64, len(ids))
+	seen := 0
+	for ck := range m.PredictIDsStream(ids, 3, 64, nil, nil) {
+		copy(got[ck.Start:ck.Start+len(ck.Scores)], ck.Scores)
+		seen += len(ck.Scores)
+	}
+	if seen != len(ids) {
+		t.Fatalf("stream delivered %d of %d scores", seen, len(ids))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score %d: stream %v vs batch %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPredictIDsStreamCancel: closing cancel mid-stream must close the
+// channel promptly and retire every worker goroutine.
+func TestPredictIDsStreamCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	m := NewModel(3)
+	ids := make([]uint64, 100_000)
+	r := xrand.New(1)
+	for i := range ids {
+		ids[i] = r.Uint64()
+	}
+	cancel := make(chan struct{})
+	ch := m.PredictIDsStream(ids, 4, 64, nil, cancel)
+	<-ch // at least one chunk arrives
+	close(cancel)
+	n := 0
+	for range ch { // drains to close
+		n++
+	}
+	if n >= len(ids)/64 {
+		t.Fatalf("cancel did not stop the stream: %d chunks after cancel", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("stream workers leaked: %d vs baseline %d", g, baseline)
+	}
+}
+
+// TestRunningTopKMatchesSort feeds a random stream and checks the final
+// membership against the sort-based TopK oracle.
+func TestRunningTopKMatchesSort(t *testing.T) {
+	r := xrand.New(4)
+	for _, n := range []int{1, 5, 100, 1000} {
+		for _, k := range []int{1, 3, 17, 1200} {
+			scores := make([]float64, n)
+			for i := range scores {
+				scores[i] = r.Float64()
+			}
+			tk := NewRunningTopK(k)
+			for i, s := range scores {
+				tk.Offer(i, s)
+			}
+			got := tk.Indices()
+			sort.Ints(got)
+			want := append([]int(nil), TopK(scores, k)...)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: %d members, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: members %v, want %v", n, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunningTopKOfferSemantics pins the admission contract: Offer
+// reports true exactly when the candidate is in the running top-k.
+func TestRunningTopKOfferSemantics(t *testing.T) {
+	tk := NewRunningTopK(2)
+	if _, ok := tk.Threshold(); ok {
+		t.Fatal("threshold before heap is full")
+	}
+	if !tk.Offer(0, 0.5) || !tk.Offer(1, 0.1) {
+		t.Fatal("heap-filling offers must be admitted")
+	}
+	if th, ok := tk.Threshold(); !ok || th != 0.1 {
+		t.Fatalf("threshold = %v, %v", th, ok)
+	}
+	if tk.Offer(2, 0.05) {
+		t.Fatal("below-threshold candidate admitted")
+	}
+	if !tk.Offer(3, 0.3) {
+		t.Fatal("above-threshold candidate rejected")
+	}
+	if th, _ := tk.Threshold(); th != 0.3 {
+		t.Fatalf("threshold after eviction = %v", th)
+	}
+	if tk.Len() != 2 {
+		t.Fatalf("len = %d", tk.Len())
+	}
+	// k < 1 is clamped.
+	if NewRunningTopK(0).k != 1 {
+		t.Fatal("k=0 not clamped")
+	}
+}
