@@ -2,20 +2,30 @@
 // long-lived, multi-tenant HTTP service: submitted campaigns queue onto
 // a bounded worker pool and share a sharded docking-score cache, so
 // overlapping submissions dedupe their most expensive evaluations.
+// With -state-dir the service is crash-safe: job lifecycle events are
+// journaled ahead of acknowledgment and the caches are checkpointed,
+// so a restarted server serves all prior terminal results and reruns
+// interrupted jobs deterministically under their original IDs.
 //
 // Usage:
 //
 //	impeccable-server [-addr :8080] [-workers N] [-campaign-workers N]
-//	                  [-shards N] [-max-cache N]
+//	                  [-shards N] [-max-cache N] [-state-dir DIR]
+//	                  [-snapshot-every D] [-max-queued N] [-max-jobs N]
 //
 // Quickstart:
 //
-//	impeccable-server &
+//	impeccable-server -state-dir /var/lib/impeccable &
 //	curl -X POST localhost:8080/api/v1/campaigns -d \
 //	  '{"target":"PLPro","library_size":1000,"train_size":200,"fast_protocols":true}'
 //	curl localhost:8080/api/v1/campaigns/job-000001
 //	curl localhost:8080/api/v1/campaigns/job-000001/result
 //	curl localhost:8080/api/v1/cache
+//
+// On SIGTERM/SIGINT the server drains gracefully: the HTTP listener
+// closes, the queue stops popping, running campaigns are canceled, and
+// a final cache checkpoint lands in -state-dir. Queued and interrupted
+// jobs are NOT journaled as canceled — the next start re-enqueues them.
 package main
 
 import (
@@ -38,19 +48,36 @@ func main() {
 	campaignWorkers := flag.Int("campaign-workers", 0, "worker pool width inside each campaign (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 64, "cache shard count")
 	maxCache := flag.Int("max-cache", 0, "score-cache entry bound (0 = unbounded)")
+	stateDir := flag.String("state-dir", "", "durable state directory: job journal + cache checkpoints (empty = in-memory only)")
+	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "cache checkpoint cadence when -state-dir is set")
+	maxQueued := flag.Int("max-queued", 0, "pending-queue bound; overflow submissions get HTTP 429 (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 0, "terminal job records kept in memory and listings (0 = unbounded; the journal keeps full history)")
 	flag.Parse()
 
-	svc := service.NewService(service.Options{
+	svc, err := service.Open(service.Options{
 		Workers:         *workers,
 		CampaignWorkers: *campaignWorkers,
 		CacheShards:     *shards,
 		MaxCacheEntries: *maxCache,
+		StateDir:        *stateDir,
+		SnapshotEvery:   *snapshotEvery,
+		MaxQueued:       *maxQueued,
+		MaxJobRecords:   *maxJobs,
 	})
+	if err != nil {
+		log.Fatalf("opening service: %v", err)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("impeccable-server listening on %s (targets: %v)", *addr, svc.Targets())
+	if *stateDir != "" {
+		recovered := len(svc.Jobs())
+		log.Printf("impeccable-server listening on %s (targets: %v, state: %s, %d jobs recovered)",
+			*addr, svc.Targets(), *stateDir, recovered)
+	} else {
+		log.Printf("impeccable-server listening on %s (targets: %v)", *addr, svc.Targets())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -58,7 +85,7 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("serve: %v", err)
 	case s := <-sig:
-		log.Printf("received %v, draining", s)
+		log.Printf("received %v, draining (running jobs cancel; queued jobs resume on next start)", s)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -66,5 +93,10 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
 	}
+	// Drain: stop popping, cancel running campaigns, write the final
+	// cache checkpoint and close the journal.
 	svc.Shutdown()
+	if *stateDir != "" {
+		log.Printf("drained; state saved under %s", *stateDir)
+	}
 }

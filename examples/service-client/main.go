@@ -4,6 +4,12 @@
 // cache — the printout shows the live job states, the eval counts of
 // both campaigns and the cache hit rate.
 //
+// The service runs with a state directory, so the second act
+// demonstrates crash-safety: the service drains, a fresh instance
+// reopens the same directory, serves both finished results straight
+// from the journal, and a resubmission against the restored cache
+// checkpoint spends zero docking evaluations.
+//
 //	go run ./examples/service-client
 package main
 
@@ -14,17 +20,28 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"impeccable"
 )
 
 func main() {
-	svc := impeccable.NewService(impeccable.ServiceOptions{Workers: 2})
-	defer svc.Shutdown()
+	stateDir, err := os.MkdirTemp("", "impeccable-state-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
+	svc, err := impeccable.OpenService(impeccable.ServiceOptions{
+		Workers:  2,
+		StateDir: stateDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := httptest.NewServer(svc.Handler())
-	defer srv.Close()
-	fmt.Printf("campaign service listening at %s\n\n", srv.URL)
+	fmt.Printf("campaign service listening at %s (state: %s)\n\n", srv.URL, stateDir)
 
 	req := impeccable.SubmitRequest{
 		Target:        "PLPro",
@@ -38,9 +55,9 @@ func main() {
 	}
 
 	fmt.Println("tenant A submits a PLPro campaign (cold cache)...")
-	sumA := runJob(srv.URL, req)
+	idA, sumA := runJob(srv.URL, req)
 	fmt.Println("tenant B submits the same screen (warm cache)...")
-	sumB := runJob(srv.URL, req)
+	_, sumB := runJob(srv.URL, req)
 
 	fmt.Printf("\ntenant A spent %d docking evaluations (%d cache hits)\n",
 		sumA.Funnel.DockEvals, sumA.Funnel.DockCacheHits)
@@ -60,10 +77,45 @@ func main() {
 		cache.Scores.Entries, 100*cache.Scores.HitRate)
 	fmt.Printf("feature cache: %d entries, hit rate %.0f%%\n",
 		cache.Features.Entries, 100*cache.Features.HitRate)
+
+	// Act two: the "server" goes away and comes back on the same state
+	// dir. Nothing reruns — the journal already has both results — and a
+	// third tenant's identical submission runs entirely from the
+	// restored cache checkpoint.
+	fmt.Println("\ndraining the service and reopening the state dir...")
+	srv.Close()
+	svc.Shutdown()
+
+	svc2, err := impeccable.OpenService(impeccable.ServiceOptions{
+		Workers:  2,
+		StateDir: stateDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	srv2 := httptest.NewServer(svc2.Handler())
+	defer srv2.Close()
+
+	var jobs []impeccable.JobSnapshot
+	getJSON(srv2.URL+"/api/v1/campaigns", &jobs)
+	fmt.Printf("recovered %d jobs from the journal:\n", len(jobs))
+	for _, j := range jobs {
+		fmt.Printf("  %-10s %-9s ran %.1fs\n", j.ID, j.State, j.Duration().Seconds())
+	}
+	var sumA2 impeccable.ResultSummary
+	getJSON(srv2.URL+"/api/v1/campaigns/"+idA+"/result", &sumA2)
+	fmt.Printf("tenant A's result survives the restart (%d screened, %d docked, %d top compounds)\n",
+		sumA2.Funnel.Screened, sumA2.Funnel.Docked, len(sumA2.Top))
+
+	fmt.Println("tenant C submits the same screen against the restored cache...")
+	_, sumC := runJob(srv2.URL, req)
+	fmt.Printf("tenant C spent %d docking evaluations (%d cache hits) — the checkpoint kept the cache warm\n",
+		sumC.Funnel.DockEvals, sumC.Funnel.DockCacheHits)
 }
 
 // runJob submits one campaign and polls its status until done.
-func runJob(base string, req impeccable.SubmitRequest) impeccable.ResultSummary {
+func runJob(base string, req impeccable.SubmitRequest) (string, impeccable.ResultSummary) {
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(base+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -87,7 +139,7 @@ func runJob(base string, req impeccable.SubmitRequest) impeccable.ResultSummary 
 	fmt.Printf("  %-10s done in %.1fs\n", snap.ID, time.Since(start).Seconds())
 	var sum impeccable.ResultSummary
 	getJSON(base+"/api/v1/campaigns/"+snap.ID+"/result", &sum)
-	return sum
+	return snap.ID, sum
 }
 
 func getJSON(url string, out any) {

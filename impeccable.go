@@ -138,7 +138,15 @@ type (
 	ResultSummary = service.ResultSummary
 	// CacheStats snapshots the shared caches' effectiveness.
 	CacheStats = service.CacheStats
+	// ScoreEntry is one exported score-cache record (cache checkpoints).
+	ScoreEntry = service.ScoreEntry
+	// FeatureEntry is one exported feature-cache record.
+	FeatureEntry = service.FeatureEntry
 )
+
+// ErrQueueFull is returned by Submit when ServiceOptions.MaxQueued
+// pending jobs are already waiting (HTTP surfaces it as 429).
+var ErrQueueFull = service.ErrQueueFull
 
 // Job lifecycle states.
 const (
@@ -151,5 +159,14 @@ const (
 
 // NewService builds and starts a campaign service; call Shutdown when
 // done. Serve its HTTP API with http.ListenAndServe(addr, s.Handler())
-// or embed it in-process via Submit/Status/Result.
+// or embed it in-process via Submit/Status/Result. Panics if
+// ServiceOptions.StateDir is set but unusable; use OpenService to
+// handle persistence errors.
 func NewService(opts ServiceOptions) *Service { return service.NewService(opts) }
+
+// OpenService builds and starts a campaign service, restoring durable
+// state first when ServiceOptions.StateDir is set: the cache
+// checkpoint is imported and the job journal is replayed, so terminal
+// jobs are served from their persisted summaries and interrupted jobs
+// re-enter the queue under their original IDs.
+func OpenService(opts ServiceOptions) (*Service, error) { return service.Open(opts) }

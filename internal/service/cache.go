@@ -106,10 +106,16 @@ func (c *ScoreCache) get(target string, m *chem.Molecule) (dock.Result, bool) {
 // put stores a result for (target, molecule), evicting an arbitrary
 // entry when the shard is at capacity.
 func (c *ScoreCache) put(target string, m *chem.Molecule, r dock.Result) {
-	k := scoreKey{target: target, fp: m.FP()}
 	// Store a private copy of the genome: the caller may mutate its
 	// slice after Put returns.
 	r.Genome = append([]float64(nil), r.Genome...)
+	c.store(scoreKey{target: target, fp: m.FP()}, r)
+	c.puts.Add(1)
+}
+
+// store inserts one entry under the capacity bound; r's genome must
+// already be private to the cache.
+func (c *ScoreCache) store(k scoreKey, r dock.Result) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if _, exists := s.m[k]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
@@ -121,7 +127,44 @@ func (c *ScoreCache) put(target string, m *chem.Molecule, r dock.Result) {
 	}
 	s.m[k] = r
 	s.mu.Unlock()
-	c.puts.Add(1)
+}
+
+// ScoreEntry is one exported score-cache record: the (target,
+// fingerprint) key plus the memoized docking result. The serializable
+// unit of the cache snapshot.
+type ScoreEntry struct {
+	Target string
+	FP     chem.Fingerprint
+	Result dock.Result
+}
+
+// Export snapshots every cached docking result. Shards are walked one
+// at a time under their read locks, so concurrent campaigns keep
+// hitting the cache while a checkpoint is taken; the snapshot is
+// per-shard-consistent, which is all a memoization cache needs.
+func (c *ScoreCache) Export() []ScoreEntry {
+	out := make([]ScoreEntry, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, r := range s.m {
+			r.Genome = append([]float64(nil), r.Genome...)
+			out = append(out, ScoreEntry{Target: k.target, FP: k.fp, Result: r})
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Import merges previously exported entries into the cache, respecting
+// the capacity bound. Imported entries do not count as puts — the
+// stats keep reflecting runtime traffic only.
+func (c *ScoreCache) Import(entries []ScoreEntry) {
+	for _, e := range entries {
+		r := e.Result
+		r.Genome = append([]float64(nil), r.Genome...)
+		c.store(scoreKey{target: e.Target, fp: e.FP}, r)
+	}
 }
 
 // Len returns the total number of cached results across all shards.

@@ -129,6 +129,101 @@ func TestScoreCacheConcurrent(t *testing.T) {
 	}
 }
 
+// molForTest and mockResult build deterministic cache fixtures shared
+// with the snapshot tests.
+func molForTest(id uint64) *chem.Molecule { return chem.FromID(id) }
+
+func mockResult(id uint64) dock.Result {
+	return dock.Result{
+		MolID:  id,
+		Score:  -float64(id),
+		Genome: []float64{float64(id), 1, 2},
+		Evals:  100,
+		Method: "solis-wets",
+	}
+}
+
+func TestScoreCacheExportImport(t *testing.T) {
+	c := NewScoreCache(4, 0)
+	for _, target := range []string{"PLPro", "3CLPro"} {
+		view := c.ForTarget(target)
+		for id := uint64(1); id <= 10; id++ {
+			view.Put(molForTest(id), mockResult(id))
+		}
+	}
+	entries := c.Export()
+	if len(entries) != 20 {
+		t.Fatalf("exported %d entries, want 20", len(entries))
+	}
+	c2 := NewScoreCache(16, 0)
+	c2.Import(entries)
+	if c2.Len() != 20 {
+		t.Fatalf("imported cache holds %d entries, want 20", c2.Len())
+	}
+	for _, target := range []string{"PLPro", "3CLPro"} {
+		view := c2.ForTarget(target)
+		for id := uint64(1); id <= 10; id++ {
+			r, ok := view.Get(molForTest(id))
+			if !ok || r.Score != -float64(id) || r.Genome[0] != float64(id) {
+				t.Fatalf("%s/%d restored as %+v ok=%v", target, id, r, ok)
+			}
+		}
+	}
+	// Import must not inflate runtime accounting.
+	if st := c2.Stats(); st.Puts != 0 {
+		t.Fatalf("import counted as %d puts", st.Puts)
+	}
+	// Mutating an exported genome must not reach the source cache.
+	entries[0].Result.Genome[0] = 999
+	r, _ := c.ForTarget(entries[0].Target).Get(molForTest(entries[0].Result.MolID))
+	if r.Genome[0] == 999 {
+		t.Fatal("export shares genome backing memory with the cache")
+	}
+}
+
+func TestScoreCacheImportRespectsCapacity(t *testing.T) {
+	const maxEntries = 16
+	big := NewScoreCache(4, 0)
+	view := big.ForTarget("T")
+	for id := uint64(0); id < 200; id++ {
+		view.Put(molForTest(id), mockResult(id))
+	}
+	small := NewScoreCache(4, maxEntries)
+	small.Import(big.Export())
+	if n := small.Len(); n > maxEntries {
+		t.Fatalf("bounded cache grew to %d entries on import, bound %d", n, maxEntries)
+	}
+}
+
+func TestFeatureCacheExportImport(t *testing.T) {
+	c := NewFeatureCache(4, 0)
+	for id := uint64(0); id < 50; id++ {
+		c.Features(id)
+	}
+	entries := c.Export()
+	if len(entries) != 50 {
+		t.Fatalf("exported %d entries, want 50", len(entries))
+	}
+	c2 := NewFeatureCache(8, 0)
+	c2.Import(entries)
+	if st := c2.Stats(); st.Entries != 50 {
+		t.Fatalf("imported %d entries, want 50", st.Entries)
+	}
+	// A restored vector must be served as a hit, byte-identical to the
+	// deterministic materialization.
+	before := c2.Stats().Hits
+	got := c2.Features(7)
+	want := chem.FromID(7).FeatureVector()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored features diverge at %d", i)
+		}
+	}
+	if c2.Stats().Hits != before+1 {
+		t.Fatal("restored entry was not served as a cache hit")
+	}
+}
+
 func TestFeatureCacheConcurrent(t *testing.T) {
 	c := NewFeatureCache(8, 0)
 	want := chem.FromID(5).FeatureVector()

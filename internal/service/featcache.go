@@ -49,13 +49,18 @@ func NewFeatureCache(shards, maxEntries int) *FeatureCache {
 	return c
 }
 
+// shardForID mixes the ID so sequential library windows spread across
+// shards.
+func (c *FeatureCache) shardForID(id uint64) *featShard {
+	h := id * 0x9E3779B97F4A7C15
+	return &c.shards[h&c.mask]
+}
+
 // Features returns the feature vector for the molecule ID, computing and
 // caching it on first use. The returned slice is shared and must be
 // treated as read-only (the surrogate copies it into its input matrix).
 func (c *FeatureCache) Features(id uint64) []float64 {
-	// Mix the ID so sequential library windows spread across shards.
-	h := id * 0x9E3779B97F4A7C15
-	s := &c.shards[h&c.mask]
+	s := c.shardForID(id)
 	s.mu.RLock()
 	v, ok := s.m[id]
 	s.mu.RUnlock()
@@ -65,6 +70,12 @@ func (c *FeatureCache) Features(id uint64) []float64 {
 	}
 	c.misses.Add(1)
 	v = chem.FromID(id).FeatureVector()
+	c.store(s, id, v)
+	return v
+}
+
+// store inserts one vector under the capacity bound.
+func (c *FeatureCache) store(s *featShard, id uint64, v []float64) {
 	s.mu.Lock()
 	if _, exists := s.m[id]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
 		for victim := range s.m {
@@ -75,7 +86,38 @@ func (c *FeatureCache) Features(id uint64) []float64 {
 	}
 	s.m[id] = v
 	s.mu.Unlock()
-	return v
+}
+
+// FeatureEntry is one exported feature-cache record. Vectors are
+// recomputable from the ID (materialization is deterministic), so the
+// snapshot is strictly an optimization: restoring it spares a restarted
+// service the recompute, not the correctness.
+type FeatureEntry struct {
+	ID  uint64
+	Vec []float64
+}
+
+// Export snapshots every cached feature vector, shard by shard under
+// the read locks (per-shard-consistent, like ScoreCache.Export).
+func (c *FeatureCache) Export() []FeatureEntry {
+	var out []FeatureEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for id, v := range s.m {
+			out = append(out, FeatureEntry{ID: id, Vec: append([]float64(nil), v...)})
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Import merges previously exported entries, respecting the capacity
+// bound. Imported entries count as neither hits nor misses.
+func (c *FeatureCache) Import(entries []FeatureEntry) {
+	for _, e := range entries {
+		c.store(c.shardForID(e.ID), e.ID, append([]float64(nil), e.Vec...))
+	}
 }
 
 // Stats snapshots the feature-cache counters.

@@ -191,6 +191,16 @@ func TestHTTPErrorsAndHealth(t *testing.T) {
 	if apiErr.Error == "" {
 		t.Fatal("error body missing")
 	}
+	// Oversized body: a size problem is 413, not 400.
+	resp, err = http.Post(srv.URL+"/api/v1/campaigns", "application/json",
+		strings.NewReader(`{"target":"`+strings.Repeat("x", maxSubmitBody+1)+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
 	// Unknown job IDs.
 	for _, probe := range []struct{ method, path string }{
 		{"GET", "/api/v1/campaigns/job-999999"},
@@ -209,6 +219,67 @@ func TestHTTPErrorsAndHealth(t *testing.T) {
 	if hb.Status != "ok" || len(hb.Targets) != 4 {
 		t.Fatalf("health = %+v", hb)
 	}
+}
+
+// TestHTTPQueueFull429 pins the MaxQueued backpressure surface: a full
+// pending queue turns into 429 Too Many Requests with a Retry-After
+// hint, while in-bound submissions still 202.
+func TestHTTPQueueFull429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("occupies a worker with a real campaign")
+	}
+	s := NewService(Options{Workers: 1, CacheShards: 8, MaxQueued: 1})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Shutdown()
+	})
+
+	blocker := smallReq()
+	blocker.LibrarySize = 4000
+	blocker.TrainSize = 800
+	blocker.FastProtocols = false
+	var snap JobSnapshot
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", blocker, &snap); code != http.StatusAccepted {
+		t.Fatalf("blocker submit = %d", code)
+	}
+	// Wait for the blocker to leave the queue so exactly MaxQueued slots
+	// remain.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		doJSON(t, "GET", srv.URL+"/api/v1/campaigns/"+snap.ID, nil, &snap)
+		if snap.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker never started: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var queued JobSnapshot
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", smallReq(), &queued); code != http.StatusAccepted {
+		t.Fatalf("in-bound submit = %d, want 202", code)
+	}
+
+	body, _ := json.Marshal(smallReq())
+	resp, err := http.Post(srv.URL+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	var apiErr apiError
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+		t.Fatalf("429 body = %+v, %v", apiErr, err)
+	}
+
+	// Unblock quickly: cancel both.
+	doJSON(t, "DELETE", srv.URL+"/api/v1/campaigns/"+queued.ID, nil, nil)
+	doJSON(t, "DELETE", srv.URL+"/api/v1/campaigns/"+snap.ID, nil, nil)
 }
 
 // TestHTTPConcurrentSubmissions floods the API from several clients and

@@ -1,0 +1,279 @@
+// Crash-safe persistence for the campaign service: a write-ahead
+// journal of job lifecycle events plus periodic snapshots of the
+// sharded score and feature caches. The journal is the source of truth
+// for job state across restarts (in the event-sourced style of
+// replayable execution records); the cache snapshot is a pure
+// optimization that keeps a restarted service's docking warm. Both
+// live under Options.StateDir:
+//
+//	<state-dir>/journal.jsonl  append-only JSON lines, fsynced per event
+//	<state-dir>/caches.snap    gob cache checkpoint, atomically renamed
+//
+// Replay semantics (see Open): a job whose last journaled event is
+// terminal is restored as a served-from-journal record (summary, error
+// and timestamps intact, full in-memory result gone); a job that was
+// queued or running when the process died is re-enqueued under its
+// original ID with its SubmitRequest — Seed and LibOffset ride along,
+// so the rerun is deterministic and, against a restored cache
+// snapshot, warm-cache-identical.
+package service
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State-dir file names.
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "caches.snap"
+)
+
+// eventKind tags one journal line.
+type eventKind string
+
+const (
+	evSubmitted eventKind = "submitted"
+	evStarted   eventKind = "started"
+	evDone      eventKind = "done"
+	evFailed    eventKind = "failed"
+	evCanceled  eventKind = "canceled"
+)
+
+// terminal reports whether the event ends a job's lifecycle.
+func (k eventKind) terminal() bool {
+	return k == evDone || k == evFailed || k == evCanceled
+}
+
+// journalEvent is one line of the write-ahead journal.
+type journalEvent struct {
+	Kind eventKind `json:"kind"`
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+	// Req rides on submitted events; it is everything needed to rerun
+	// the job deterministically (Seed, LibOffset included).
+	Req *SubmitRequest `json:"req,omitempty"`
+	// Summary rides on done events; a replayed service serves it
+	// without rerunning the campaign.
+	Summary *ResultSummary `json:"summary,omitempty"`
+	// Error rides on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// journal is the append-only, per-event-fsynced job event log.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// syncDir fsyncs a directory so a freshly created or renamed entry in
+// it survives power loss, not just process death. Best-effort on
+// filesystems that reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(dir string) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	// Persist the directory entry too: an acked submit must survive
+	// power loss even when it was the journal's first event.
+	syncDir(dir)
+	return &journal{f: f}, nil
+}
+
+// append writes one event as a JSON line and fsyncs it, so an event
+// that has been acknowledged (e.g. a submit that returned an ID)
+// survives an immediate crash.
+func (jl *journal) append(ev journalEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("service: encoding journal event: %w", err)
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("service: journal is closed")
+	}
+	if _, err := jl.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("service: appending journal event: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("service: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// close closes the journal file; later appends fail.
+func (jl *journal) close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	err := jl.f.Close()
+	jl.f = nil
+	return err
+}
+
+// readJournal parses the journal's events in order. A line that does
+// not parse — a write torn by the crash the journal exists to survive —
+// is skipped rather than failing the whole replay. A missing file is
+// an empty journal.
+func readJournal(dir string) ([]journalEvent, error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	defer f.Close()
+	var events []journalEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		var ev journalEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Job == "" {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: scanning journal: %w", err)
+	}
+	return events, nil
+}
+
+// replayJournal reduces the event stream to restorable job records in
+// first-submission order, plus the highest job number seen (so a
+// reopened scheduler continues the ID sequence without collisions).
+// Jobs left non-terminal by the stream come back StateQueued with a
+// fresh cancel channel, ready to re-enqueue; duplicate started events
+// (a job interrupted once already) simply overwrite the start time.
+func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
+	byID := make(map[string]*job)
+	for _, ev := range events {
+		j := byID[ev.Job]
+		if j == nil {
+			if ev.Kind != evSubmitted || ev.Req == nil {
+				continue // event for a job whose submission was lost
+			}
+			j = &job{
+				id:        ev.Job,
+				req:       *ev.Req,
+				state:     StateQueued,
+				submitted: ev.Time,
+				cancel:    make(chan struct{}),
+			}
+			byID[ev.Job] = j
+			jobs = append(jobs, j)
+			if n, err := strconv.Atoi(strings.TrimPrefix(ev.Job, "job-")); err == nil && n > maxID {
+				maxID = n
+			}
+			continue
+		}
+		switch ev.Kind {
+		case evStarted:
+			j.started = ev.Time
+		case evDone:
+			j.state = StateDone
+			j.finished = ev.Time
+			j.progress = 1
+			if ev.Summary != nil {
+				j.result = &jobResult{summary: *ev.Summary}
+			}
+		case evFailed:
+			j.state = StateFailed
+			j.finished = ev.Time
+			j.err = ev.Error
+		case evCanceled:
+			j.state = StateCanceled
+			j.finished = ev.Time
+		}
+	}
+	// Interrupted jobs rerun from scratch: reset the stale start time so
+	// their snapshots read as queued until a worker re-pops them.
+	for _, j := range jobs {
+		if !j.state.Terminal() {
+			j.started = time.Time{}
+		}
+	}
+	return jobs, maxID
+}
+
+// cacheSnapshot is the gob-encoded checkpoint of both shared caches.
+type cacheSnapshot struct {
+	Scores   []ScoreEntry
+	Features []FeatureEntry
+}
+
+// saveSnapshot checkpoints both caches into dir atomically (temp file
+// then rename), so a crash mid-snapshot leaves the previous checkpoint
+// intact.
+func saveSnapshot(dir string, scores *ScoreCache, features *FeatureCache) error {
+	tmp, err := os.CreateTemp(dir, snapshotName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: creating snapshot temp file: %w", err)
+	}
+	snap := cacheSnapshot{Scores: scores.Export(), Features: features.Export()}
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: encoding cache snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: syncing cache snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: closing cache snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: installing cache snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadSnapshot imports a previously saved checkpoint into the caches.
+// A missing snapshot is a cold start, not an error; an unreadable one
+// is also tolerated (the caches refill from real work) — durable job
+// state lives in the journal, never here.
+func loadSnapshot(dir string, scores *ScoreCache, features *FeatureCache) error {
+	f, err := os.Open(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: opening cache snapshot: %w", err)
+	}
+	defer f.Close()
+	var snap cacheSnapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil // torn snapshot: start cold
+	}
+	scores.Import(snap.Scores)
+	features.Import(snap.Features)
+	return nil
+}

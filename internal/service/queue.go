@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -38,6 +39,14 @@ type job struct {
 	result     *jobResult
 	cancel     chan struct{}
 	cancelOnce sync.Once
+	// drainCanceled marks a job interrupted by a graceful drain rather
+	// than by user intent: its terminal state is not journaled, so a
+	// reopened service re-enqueues it instead of serving "canceled".
+	drainCanceled bool
+	// userCanceled marks an explicit cancel request. A drain that
+	// overlaps one must not suppress its terminal journal event — the
+	// user's cancel survives restarts.
+	userCanceled bool
 }
 
 // requestCancel closes the job's cancel channel exactly once.
@@ -80,16 +89,47 @@ type JobSnapshot struct {
 	Finished  *time.Time `json:"finished_at,omitempty"`
 }
 
+// Duration reports how long the job ran. Jobs that never left the
+// queue — canceled while queued, so Finished is set while Started is
+// nil — report zero; the result is never negative.
+func (s JobSnapshot) Duration() time.Duration {
+	if s.Started == nil || s.Finished == nil {
+		return 0
+	}
+	if d := s.Finished.Sub(*s.Started); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// ErrQueueFull is returned by Submit when Options.MaxQueued pending
+// jobs are already waiting (HTTP surfaces it as 429).
+var ErrQueueFull = errors.New("service: submission queue is full")
+
+// schedConfig bundles the scheduler's construction parameters.
+type schedConfig struct {
+	workers    int
+	maxQueued  int                      // pending-queue bound; 0 = unbounded
+	maxRecords int                      // retained terminal jobs; 0 = unbounded
+	record     func(journalEvent) error // journal appender; nil = in-memory only
+	onTerminal func()                   // runs after each job's terminal event
+}
+
 // scheduler runs queued jobs over a bounded worker pool.
 type scheduler struct {
-	run func(*job) // executes one job's campaign
+	run        func(*job) // executes one job's campaign
+	maxQueued  int
+	maxRecords int
+	record     func(journalEvent) error
+	onTerminal func()
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string // submission order, for listing
-	pending []*job   // FIFO queue of jobs awaiting a worker
-	nextID  int
-	closed  bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	pending  []*job   // FIFO queue of jobs awaiting a worker
+	nextID   int
+	closed   bool
+	draining bool // drain in progress: pop hands out nothing
 
 	wake chan struct{} // pokes idle workers; buffered
 	quit chan struct{}
@@ -97,15 +137,20 @@ type scheduler struct {
 }
 
 // newScheduler starts workers goroutines draining the queue.
-func newScheduler(workers int, run func(*job)) *scheduler {
+func newScheduler(cfg schedConfig, run func(*job)) *scheduler {
+	workers := cfg.workers
 	if workers < 1 {
 		workers = 1
 	}
 	s := &scheduler{
-		run:  run,
-		jobs: make(map[string]*job),
-		wake: make(chan struct{}, workers),
-		quit: make(chan struct{}),
+		run:        run,
+		maxQueued:  cfg.maxQueued,
+		maxRecords: cfg.maxRecords,
+		record:     cfg.record,
+		onTerminal: cfg.onTerminal,
+		jobs:       make(map[string]*job),
+		wake:       make(chan struct{}, workers),
+		quit:       make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -114,12 +159,18 @@ func newScheduler(workers int, run func(*job)) *scheduler {
 	return s
 }
 
-// submit enqueues a request and returns the new job's ID.
+// submit enqueues a request and returns the new job's ID. The
+// submitted event is journaled (and fsynced) before the ID is handed
+// back, so an acknowledged submission survives a crash.
 func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return "", fmt.Errorf("service: scheduler is shut down")
+	}
+	if s.maxQueued > 0 && len(s.pending) >= s.maxQueued {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w (%d jobs pending, max %d)", ErrQueueFull, s.maxQueued, s.maxQueued)
 	}
 	s.nextID++
 	j := &job{
@@ -128,6 +179,13 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 		state:     StateQueued,
 		submitted: now,
 		cancel:    make(chan struct{}),
+	}
+	if s.record != nil {
+		if err := s.record(journalEvent{Kind: evSubmitted, Job: j.id, Time: now, Req: &j.req}); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			return "", err
+		}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -138,6 +196,36 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 	default:
 	}
 	return j.id, nil
+}
+
+// restore inserts journal-replayed jobs: terminal ones become
+// servable records, non-terminal ones re-enter the pending queue under
+// their original IDs. nextID advances past the highest replayed job
+// number so new submissions never collide.
+func (s *scheduler) restore(jobs []*job, maxID int) {
+	requeued := 0
+	s.mu.Lock()
+	for _, j := range jobs {
+		if _, dup := s.jobs[j.id]; dup {
+			continue
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if !j.state.Terminal() {
+			s.pending = append(s.pending, j)
+			requeued++
+		}
+	}
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.mu.Unlock()
+	for i := 0; i < requeued; i++ {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // worker drains the pending queue until the scheduler shuts down.
@@ -153,16 +241,24 @@ func (s *scheduler) worker() {
 				return
 			}
 		}
+		if s.record != nil {
+			j.mu.Lock()
+			started := j.started
+			j.mu.Unlock()
+			_ = s.record(journalEvent{Kind: evStarted, Job: j.id, Time: started})
+		}
 		s.execute(j)
 	}
 }
 
 // pop dequeues the next runnable job, skipping jobs canceled while
-// queued. Returns nil when the queue is empty.
+// queued. Returns nil when the queue is empty or a drain is under way
+// (a draining scheduler stops popping so queued work stays journaled
+// as pending and resumes after restart).
 func (s *scheduler) pop() *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.pending) > 0 {
+	for !s.draining && len(s.pending) > 0 {
 		j := s.pending[0]
 		s.pending = s.pending[1:]
 		j.mu.Lock()
@@ -179,7 +275,9 @@ func (s *scheduler) pop() *job {
 	return nil
 }
 
-// execute runs one job and records its terminal state.
+// execute runs one job, records its terminal state and journals it —
+// unless a drain interrupted the job, in which case the journal keeps
+// showing it in flight so a reopened service reruns it.
 func (s *scheduler) execute(j *job) {
 	s.run(j)
 	j.mu.Lock()
@@ -187,7 +285,33 @@ func (s *scheduler) execute(j *job) {
 		j.state = StateDone
 	}
 	j.finished = time.Now()
+	ev := journalEvent{Job: j.id, Time: j.finished}
+	switch j.state {
+	case StateDone:
+		ev.Kind = evDone
+		if j.result != nil {
+			sum := j.result.summary
+			ev.Summary = &sum
+		}
+	case StateFailed:
+		ev.Kind = evFailed
+		ev.Error = j.err
+	case StateCanceled:
+		ev.Kind = evCanceled
+	}
+	// Suppress journaling only when the drain actually interrupted the
+	// job: one that raced to normal completion still records its
+	// result, and one the user explicitly canceled records the cancel
+	// (user intent survives restarts; drain interruptions resume).
+	suppress := j.drainCanceled && !j.userCanceled && j.state == StateCanceled
 	j.mu.Unlock()
+	if !suppress && s.record != nil {
+		_ = s.record(ev)
+	}
+	if !suppress && s.onTerminal != nil {
+		s.onTerminal()
+	}
+	s.pruneTerminal()
 }
 
 // get returns the job by ID.
@@ -205,19 +329,80 @@ func (s *scheduler) cancelJob(id string) bool {
 	if !ok {
 		return false
 	}
+	var ev *journalEvent
+	unqueue := false
 	j.mu.Lock()
 	switch j.state {
 	case StateQueued:
 		// Never started: mark terminal immediately; pop() will skip it.
 		j.state = StateCanceled
 		j.finished = time.Now()
+		j.userCanceled = true
+		unqueue = true
+		ev = &journalEvent{Kind: evCanceled, Job: j.id, Time: j.finished}
 	case StateRunning:
 		// The campaign observes the closed channel between stages and
-		// returns ErrCanceled; the runner records the terminal state.
+		// returns ErrCanceled; execute journals the terminal state.
+		j.userCanceled = true
 	}
 	j.mu.Unlock()
 	j.requestCancel()
+	if unqueue {
+		// Drop the tombstone from the pending queue so it stops holding
+		// a MaxQueued slot (pop would only skip it once a worker frees
+		// up, spuriously 429ing new submissions until then).
+		s.mu.Lock()
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+	if ev != nil && s.record != nil {
+		_ = s.record(*ev)
+	}
 	return true
+}
+
+// pruneTerminal drops the oldest terminal job records beyond
+// maxRecords from the job table, the order slice and therefore every
+// listing — the fix for the unbounded growth of completed-job state in
+// a long-lived service. Queued and running jobs are never pruned. With
+// a journal configured, pruned history remains on disk.
+func (s *scheduler) pruneTerminal() {
+	if s.maxRecords <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var terminal []string // IDs of terminal jobs, oldest first
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		done := j.state.Terminal()
+		j.mu.Unlock()
+		if done {
+			terminal = append(terminal, id)
+		}
+	}
+	drop := len(terminal) - s.maxRecords
+	if drop <= 0 {
+		return
+	}
+	doomed := make(map[string]bool, drop)
+	for _, id := range terminal[:drop] {
+		doomed[id] = true
+		delete(s.jobs, id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !doomed[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
 }
 
 // jobsInOrder returns every job in submission order.
@@ -258,8 +443,12 @@ func (s *scheduler) counts() map[JobState]int {
 	return out
 }
 
-// shutdown stops accepting submissions, cancels every non-terminal job
-// and waits for the workers to drain.
+// shutdown gracefully drains the scheduler: stop accepting
+// submissions, stop popping the pending queue, cancel running jobs and
+// wait for the workers. Jobs interrupted here are marked canceled
+// in memory but deliberately NOT journaled as terminal — from the
+// journal's point of view they are still in flight, so a service
+// reopened on the same state dir re-enqueues them.
 func (s *scheduler) shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -268,13 +457,24 @@ func (s *scheduler) shutdown() {
 		return
 	}
 	s.closed = true
+	s.draining = true
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {
-		s.cancelJob(j.id)
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			j.state = StateCanceled
+			j.finished = time.Now()
+			j.drainCanceled = true
+		case StateRunning:
+			j.drainCanceled = true
+		}
+		j.mu.Unlock()
+		j.requestCancel()
 	}
 	close(s.quit)
 	s.wg.Wait()

@@ -3,7 +3,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"impeccable/internal/campaign"
@@ -36,6 +38,29 @@ type Options struct {
 	// and the sharded score/feature caches are read and populated
 	// mid-stream. Individual submissions can also opt in per job.
 	Streaming bool
+	// StateDir, when non-empty, makes the service crash-safe: job
+	// lifecycle events are written ahead to <StateDir>/journal.jsonl
+	// (fsynced per event) and the score/feature caches are periodically
+	// checkpointed to <StateDir>/caches.snap. Open replays the journal:
+	// terminal jobs are served from their persisted summaries, and jobs
+	// that were queued or running at crash time are re-enqueued under
+	// their original IDs (Seed and LibOffset preserved, so reruns are
+	// deterministic and warm-cache-identical). Empty = in-memory only.
+	StateDir string
+	// SnapshotEvery is the cadence of the periodic cache checkpoint
+	// when StateDir is set; 0 means 30s. A checkpoint is also taken
+	// after every job that reaches a terminal state and at Shutdown.
+	SnapshotEvery time.Duration
+	// MaxJobRecords bounds how many terminal jobs stay in the
+	// in-memory job table (and so in listings); the oldest terminal
+	// records are pruned first, queued/running jobs never. 0 means
+	// unbounded — with StateDir set the journal keeps full history
+	// regardless of pruning.
+	MaxJobRecords int
+	// MaxQueued bounds the pending queue: submissions beyond it fail
+	// with ErrQueueFull (HTTP 429), so one tenant cannot queue jobs
+	// until the server OOMs. 0 means unbounded.
+	MaxQueued int
 }
 
 // Service is a long-lived, multi-tenant campaign evaluation service:
@@ -51,6 +76,14 @@ type Service struct {
 	maxResults int  // full campaign results retained; <0 = unbounded
 	streaming  bool // route all jobs through the streaming funnel
 	started    time.Time
+
+	// Persistence (zero-valued when Options.StateDir is empty).
+	stateDir string
+	jl       *journal
+	snapMu   sync.Mutex    // serializes checkpoint writers
+	snapStop chan struct{} // stops the periodic snapshotter
+	snapWG   sync.WaitGroup
+	stopOnce sync.Once // persistence teardown runs once
 }
 
 // SubmitRequest describes one campaign submission. Zero-valued fields
@@ -86,8 +119,23 @@ type ResultSummary struct {
 	ScientificYield float64                  `json:"scientific_yield"`
 }
 
-// NewService builds and starts a service; call Shutdown when done.
+// NewService builds and starts a service; call Shutdown when done. It
+// panics if Options.StateDir is set but unusable — services that need
+// to handle persistence errors should call Open instead.
 func NewService(opts Options) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds and starts a service. With Options.StateDir set it
+// restores durable state first: the cache checkpoint is imported, the
+// job journal is replayed (terminal jobs become servable records;
+// interrupted jobs re-enter the queue under their original IDs), and
+// only then does the service accept new submissions.
+func Open(opts Options) (*Service, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0) / 2
@@ -115,12 +163,78 @@ func NewService(opts Options) *Service {
 		maxResults: maxResults,
 		streaming:  opts.Streaming,
 		started:    time.Now(),
+		stateDir:   opts.StateDir,
+		snapStop:   make(chan struct{}),
 	}
 	for _, t := range targets {
 		s.targets[t.Name] = t
 	}
-	s.sched = newScheduler(workers, s.runJob)
-	return s
+	cfg := schedConfig{
+		workers:    workers,
+		maxQueued:  opts.MaxQueued,
+		maxRecords: opts.MaxJobRecords,
+	}
+	var replayed []*job
+	var maxID int
+	if s.stateDir != "" {
+		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating state dir: %w", err)
+		}
+		if err := loadSnapshot(s.stateDir, s.scores, s.features); err != nil {
+			return nil, err
+		}
+		events, err := readJournal(s.stateDir)
+		if err != nil {
+			return nil, err
+		}
+		replayed, maxID = replayJournal(events)
+		if s.jl, err = openJournal(s.stateDir); err != nil {
+			return nil, err
+		}
+		cfg.record = s.jl.append
+		cfg.onTerminal = func() { _ = s.Snapshot() }
+	}
+	s.sched = newScheduler(cfg, s.runJob)
+	if len(replayed) > 0 || maxID > 0 {
+		s.sched.restore(replayed, maxID)
+		s.sched.pruneTerminal()
+	}
+	if s.stateDir != "" {
+		every := opts.SnapshotEvery
+		if every <= 0 {
+			every = 30 * time.Second
+		}
+		s.snapWG.Add(1)
+		go s.snapshotLoop(every)
+	}
+	return s, nil
+}
+
+// snapshotLoop periodically checkpoints the caches so that even a
+// mid-campaign crash keeps most of the accumulated docking labels.
+func (s *Service) snapshotLoop(every time.Duration) {
+	defer s.snapWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.Snapshot()
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// Snapshot checkpoints the score and feature caches to StateDir
+// atomically (temp file + rename). A no-op without a StateDir.
+func (s *Service) Snapshot() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return saveSnapshot(s.stateDir, s.scores, s.features)
 }
 
 // Targets lists the receptor names the service accepts.
@@ -338,8 +452,24 @@ func (s *Service) FeatureCacheStats() CacheStats { return s.features.Stats() }
 // Uptime reports how long the service has been running.
 func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
 
-// Shutdown cancels all jobs and stops the workers.
-func (s *Service) Shutdown() { s.sched.shutdown() }
+// Shutdown gracefully drains the service: new submissions are
+// rejected, the pending queue stops popping, running jobs are
+// canceled, and — with a StateDir — a final cache checkpoint is
+// written and the journal is closed. Jobs interrupted by the drain are
+// not journaled as terminal, so a service reopened on the same
+// StateDir re-enqueues them. Idempotent.
+func (s *Service) Shutdown() {
+	s.sched.shutdown()
+	if s.stateDir == "" {
+		return
+	}
+	s.stopOnce.Do(func() {
+		close(s.snapStop)
+		s.snapWG.Wait()
+		_ = s.Snapshot()
+		_ = s.jl.close()
+	})
+}
 
 // Wait blocks until the job reaches a terminal state or the timeout
 // elapses, returning the final snapshot.
