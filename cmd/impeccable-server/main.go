@@ -12,6 +12,14 @@
 //	impeccable-server [-addr :8080] [-workers N] [-campaign-workers N]
 //	                  [-shards N] [-max-cache N] [-state-dir DIR]
 //	                  [-snapshot-every D] [-max-queued N] [-max-jobs N]
+//	                  [-lease-ttl D]
+//
+// -workers=0 starts the server as a pure coordinator with zero
+// in-process workers: every campaign executes on remote
+// impeccable-worker processes pulling jobs through the lease API
+// (POST /api/v1/worker/lease|heartbeat|complete). Workers that stop
+// heartbeating for -lease-ttl lose their job, which re-enters the
+// queue under its original ID and reruns byte-identically.
 //
 // Quickstart:
 //
@@ -22,10 +30,13 @@
 //	curl localhost:8080/api/v1/campaigns/job-000001/result
 //	curl localhost:8080/api/v1/cache
 //
-// On SIGTERM/SIGINT the server drains gracefully: the HTTP listener
-// closes, the queue stops popping, running campaigns are canceled, and
-// a final cache checkpoint lands in -state-dir. Queued and interrupted
-// jobs are NOT journaled as canceled — the next start re-enqueues them.
+// On SIGTERM/SIGINT the server drains gracefully: /healthz flips to
+// 503 "draining" (load balancers stop routing), the queue stops
+// popping, running campaigns are canceled, a final cache checkpoint
+// lands in -state-dir, and only then does the HTTP listener close.
+// Queued and interrupted jobs are NOT journaled as canceled — the next
+// start re-enqueues them; outstanding remote leases survive into the
+// next start too.
 package main
 
 import (
@@ -44,7 +55,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "concurrent campaigns (0 = half of GOMAXPROCS)")
+	workers := flag.Int("workers", -1, "in-process concurrent campaigns (-1 = half of GOMAXPROCS, 0 = remote workers only)")
 	campaignWorkers := flag.Int("campaign-workers", 0, "worker pool width inside each campaign (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 64, "cache shard count")
 	maxCache := flag.Int("max-cache", 0, "score-cache entry bound (0 = unbounded)")
@@ -52,10 +63,12 @@ func main() {
 	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "cache checkpoint cadence when -state-dir is set")
 	maxQueued := flag.Int("max-queued", 0, "pending-queue bound; overflow submissions get HTTP 429 (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "terminal job records kept in memory and listings (0 = unbounded; the journal keeps full history)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "remote-worker lease TTL; a worker silent this long loses its job (0 = 30s)")
 	flag.Parse()
 
 	svc, err := service.Open(service.Options{
-		Workers:         *workers,
+		Workers:         max(*workers, 0),
+		RemoteOnly:      *workers == 0,
 		CampaignWorkers: *campaignWorkers,
 		CacheShards:     *shards,
 		MaxCacheEntries: *maxCache,
@@ -63,9 +76,13 @@ func main() {
 		SnapshotEvery:   *snapshotEvery,
 		MaxQueued:       *maxQueued,
 		MaxJobRecords:   *maxJobs,
+		LeaseTTL:        *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("opening service: %v", err)
+	}
+	if *workers == 0 {
+		log.Printf("running as pure coordinator: campaigns execute only on remote impeccable-worker processes")
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -88,14 +105,16 @@ func main() {
 		log.Printf("received %v, draining (running jobs cancel; queued jobs resume on next start)", s)
 	}
 
+	// Drain the service first, with the listener still up: /healthz
+	// flips to 503 "draining" immediately, so load balancers stop
+	// routing here before the socket disappears, and status/result
+	// queries keep answering while running campaigns wind down.
+	svc.Shutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
 	}
-	// Drain: stop popping, cancel running campaigns, write the final
-	// cache checkpoint and close the journal.
-	svc.Shutdown()
 	if *stateDir != "" {
 		log.Printf("drained; state saved under %s", *stateDir)
 	}

@@ -1,0 +1,62 @@
+// Command impeccable-worker is a remote campaign executor: it pulls
+// jobs from an impeccable-server coordinator over the lease API, runs
+// each campaign locally against per-worker caches, heartbeats while it
+// runs, and posts back the result summary plus the score/feature-cache
+// deltas. Point any number of workers (across any number of machines)
+// at one coordinator started with -workers=0 and the single binary
+// becomes a coordinator + N workers cluster.
+//
+// Usage:
+//
+//	impeccable-worker -server http://host:8080 [-id NAME] [-ttl D]
+//	                  [-poll D] [-campaign-workers N] [-shards N]
+//	                  [-max-cache N]
+//
+// Fault tolerance lives in the lease protocol, not in this process: a
+// worker killed mid-job simply stops heartbeating, the coordinator
+// re-enqueues the job under its original ID (Seed and LibOffset
+// preserved), and the rerun on any other worker is byte-identical
+// science. SIGINT/SIGTERM stop the worker after aborting any run in
+// flight; the coordinator re-enqueues that job the same way.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"impeccable/internal/service/worker"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "coordinator base URL")
+	id := flag.String("id", "", "worker identity in leases and listings (empty = <hostname>-<pid>)")
+	ttl := flag.Duration("ttl", 0, "requested lease TTL; losing heartbeats for this long re-enqueues the job (0 = coordinator default)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
+	campaignWorkers := flag.Int("campaign-workers", 0, "worker pool width inside each campaign (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 16, "per-worker cache shard count")
+	maxCache := flag.Int("max-cache", 0, "per-worker score-cache entry bound (0 = unbounded)")
+	flag.Parse()
+
+	w := worker.New(worker.Options{
+		Server:          *server,
+		ID:              *id,
+		TTL:             *ttl,
+		Poll:            *poll,
+		CampaignWorkers: *campaignWorkers,
+		CacheShards:     *shards,
+		MaxCacheEntries: *maxCache,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("impeccable-worker %s pulling from %s", w.ID(), *server)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("worker: %v", err)
+	}
+	log.Printf("impeccable-worker %s stopped (%d jobs completed)", w.ID(), w.Completed())
+}

@@ -22,6 +22,7 @@ import (
 	"impeccable/internal/chem"
 	"impeccable/internal/receptor"
 	"impeccable/internal/service"
+	"impeccable/internal/service/worker"
 )
 
 // Re-exported core types. Aliases give external callers full access to
@@ -142,15 +143,27 @@ type (
 	ScoreEntry = service.ScoreEntry
 	// FeatureEntry is one exported feature-cache record.
 	FeatureEntry = service.FeatureEntry
+	// JobQuery bounds and filters a job listing (state/cursor/limit).
+	JobQuery = service.JobQuery
+	// LeaseGrant is a remote worker's claim on one job (lease API).
+	LeaseGrant = service.LeaseGrant
+	// WorkerResult is the outcome a remote worker posts for a leased job.
+	WorkerResult = service.WorkerResult
 )
 
 // ErrQueueFull is returned by Submit when ServiceOptions.MaxQueued
 // pending jobs are already waiting (HTTP surfaces it as 429).
 var ErrQueueFull = service.ErrQueueFull
 
+// ErrLeaseLost is returned to a remote worker whose lease on a job is
+// no longer valid (expired, re-assigned or canceled); the worker must
+// abandon the run.
+var ErrLeaseLost = service.ErrLeaseLost
+
 // Job lifecycle states.
 const (
 	JobQueued   = service.StateQueued
+	JobLeased   = service.StateLeased
 	JobRunning  = service.StateRunning
 	JobDone     = service.StateDone
 	JobFailed   = service.StateFailed
@@ -170,3 +183,20 @@ func NewService(opts ServiceOptions) *Service { return service.NewService(opts) 
 // jobs are served from their persisted summaries and interrupted jobs
 // re-enter the queue under their original IDs.
 func OpenService(opts ServiceOptions) (*Service, error) { return service.Open(opts) }
+
+// Remote-worker types: the pull-based executor side of the service's
+// lease protocol (cmd/impeccable-worker wraps this package; embedders
+// can run workers in-process the same way).
+type (
+	// Worker pulls leased jobs from a coordinator and executes them
+	// against per-worker caches.
+	Worker = worker.Worker
+	// WorkerOptions configures NewWorker.
+	WorkerOptions = worker.Options
+)
+
+// NewWorker builds a remote campaign executor; call Run with a context
+// to start pulling jobs from WorkerOptions.Server. A worker that stops
+// (or is killed) mid-job simply loses its lease: the coordinator
+// re-enqueues the job and the rerun is byte-identical science.
+func NewWorker(opts WorkerOptions) *Worker { return worker.New(opts) }

@@ -60,18 +60,35 @@ func (c *FeatureCache) shardForID(id uint64) *featShard {
 // caching it on first use. The returned slice is shared and must be
 // treated as read-only (the surrogate copies it into its input matrix).
 func (c *FeatureCache) Features(id uint64) []float64 {
+	if v, ok := c.Lookup(id); ok {
+		return v
+	}
+	v := chem.FromID(id).FeatureVector()
+	c.Insert(id, v)
+	return v
+}
+
+// Lookup returns the cached vector for the molecule ID without
+// computing on a miss (counted as a hit/miss like Features). Remote
+// workers use it to tell which vectors a run computed fresh — the
+// feature-cache delta shipped back to the coordinator.
+func (c *FeatureCache) Lookup(id uint64) ([]float64, bool) {
 	s := c.shardForID(id)
 	s.mu.RLock()
 	v, ok := s.m[id]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
-		return v
+	} else {
+		c.misses.Add(1)
 	}
-	c.misses.Add(1)
-	v = chem.FromID(id).FeatureVector()
-	c.store(s, id, v)
-	return v
+	return v, ok
+}
+
+// Insert stores a computed vector under the capacity bound; the
+// write half of Lookup.
+func (c *FeatureCache) Insert(id uint64, v []float64) {
+	c.store(c.shardForID(id), id, v)
 }
 
 // store inserts one vector under the capacity bound.

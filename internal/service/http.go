@@ -5,18 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST   /api/v1/campaigns          submit a campaign (SubmitRequest JSON)
-//	GET    /api/v1/campaigns          list job snapshots
+//	GET    /api/v1/campaigns          list job snapshots (?state= ?limit= ?after=)
 //	GET    /api/v1/campaigns/{id}     one job's status
 //	DELETE /api/v1/campaigns/{id}     cancel a job
 //	GET    /api/v1/campaigns/{id}/result   completed job's summary
 //	GET    /api/v1/cache              score + feature cache stats
-//	GET    /healthz                   liveness + job counts
+//	GET    /healthz                   liveness + job counts (503 while draining)
+//
+// plus the remote-worker protocol (cmd/impeccable-worker):
+//
+//	POST   /api/v1/worker/lease       pull a job under a TTL lease (204 = no work)
+//	POST   /api/v1/worker/heartbeat   extend a lease, report stage/progress
+//	POST   /api/v1/worker/complete    post a result + cache deltas
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
@@ -26,6 +33,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /api/v1/worker/lease", s.handleWorkerLease)
+	mux.HandleFunc("POST /api/v1/worker/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("POST /api/v1/worker/complete", s.handleWorkerComplete)
 	return mux
 }
 
@@ -50,27 +60,23 @@ const maxSubmitBody = 1 << 16
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		// A body past the MaxBytesReader limit is a size problem, not a
-		// syntax problem: 413, not 400.
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-			return
-		}
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	if !decodeBody(w, r, maxSubmitBody, strictFields, &req) {
 		return
 	}
 	id, err := s.Submit(req)
 	if err != nil {
 		// A full pending queue is backpressure, not a bad request: 429
-		// tells well-behaved tenants to retry later.
+		// tells well-behaved tenants to retry later, with the wait
+		// derived from how fast the backlog is actually draining.
 		if errors.Is(err, ErrQueueFull) {
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", strconv.Itoa(s.sched.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		// Submissions during a drain get the same 503 the health probe
+		// shows — this instance is going away, try another.
+		if errors.Is(err, ErrShuttingDown) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -81,7 +87,27 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Jobs())
+	var q JobQuery
+	if v := r.URL.Query().Get("state"); v != "" {
+		st := JobState(v)
+		switch st {
+		case StateQueued, StateLeased, StateRunning, StateDone, StateFailed, StateCanceled:
+			q.State = st
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", v))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
+			return
+		}
+		q.Limit = n
+	}
+	q.After = r.URL.Query().Get("after")
+	writeJSON(w, http.StatusOK, s.JobsFiltered(q))
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -94,13 +120,23 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !s.Cancel(id) {
+	// The snapshot comes back from the cancel itself (taken under the
+	// job's lock): re-reading through the record table here could race
+	// a concurrent completion's prune and misreport the outcome.
+	snap, err := s.sched.cancelJob(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
 		writeError(w, http.StatusNotFound, "unknown job")
-		return
+	case errors.Is(err, ErrShuttingDown):
+		// The journal is closed: a cancel acked now would be lost
+		// across the restart. 503 tells the tenant to retry against
+		// the next instance.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, snap)
 	}
-	snap, _ := s.Status(id)
-	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -140,10 +176,172 @@ type healthBody struct {
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthBody{
-		Status:  "ok",
+	// A draining coordinator must stop attracting traffic: load
+	// balancers route on the health probe, so "ok" during a drain keeps
+	// sending work to a server that rejects it.
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthBody{
+		Status:  status,
 		Uptime:  s.Uptime().Round(time.Millisecond).String(),
 		Jobs:    s.sched.counts(),
 		Targets: s.Targets(),
 	})
+}
+
+// maxCompleteBody bounds a worker's complete payload: a ResultSummary
+// plus the run's score/feature-cache deltas. Workers cap each delta at
+// 50k entries (~40 MB of JSON apiece at the largest genome/feature
+// shapes), so the bound leaves headroom above the worst legitimate
+// payload rather than rejecting a finished multi-minute run.
+const maxCompleteBody = 128 << 20
+
+// Field strictness for decodeBody. Tenant-facing submissions reject
+// unknown fields (catching typos in hand-written curl bodies); the
+// worker protocol tolerates them so coordinator and worker binaries
+// can skew by a version.
+const (
+	strictFields = true
+	looseFields  = false
+)
+
+// decodeBody decodes a bounded JSON request body, writing the
+// appropriate error response (413 for oversize, 400 for syntax) and
+// returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, strict bool, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	return false
+}
+
+// LeaseRequest is a worker's pull for one job. Exported so the worker
+// client (internal/service/worker) marshals the exact struct this
+// handler decodes — one definition, no drift between the two binaries.
+type LeaseRequest struct {
+	WorkerID   string  `json:"worker_id"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"` // 0 = server default
+}
+
+func (s *Service) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, maxSubmitBody, looseFields, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, "worker_id is required")
+		return
+	}
+	grant, err := s.Lease(req.WorkerID, time.Duration(req.TTLSeconds*float64(time.Second)))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if grant == nil {
+		// No runnable work (empty queue, or the coordinator is
+		// draining): the worker polls again later.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+// HeartbeatRequest extends a lease and reports remote progress
+// (shared with the worker client, like LeaseRequest). Token is the
+// secret from the LeaseGrant — worker IDs appear in job listings, so
+// the ID alone does not authenticate.
+type HeartbeatRequest struct {
+	WorkerID string  `json:"worker_id"`
+	Token    string  `json:"token"`
+	JobID    string  `json:"job_id"`
+	Stage    string  `json:"stage,omitempty"`
+	Progress float64 `json:"progress,omitempty"`
+}
+
+// heartbeatResponse carries the extended lease deadline.
+type heartbeatResponse struct {
+	ExpiresAt time.Time `json:"expires_at"`
+}
+
+func (s *Service) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, maxSubmitBody, looseFields, &req) {
+		return
+	}
+	expires, err := s.Heartbeat(req.WorkerID, req.Token, req.JobID, req.Stage, req.Progress)
+	if !writeWorkerError(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{ExpiresAt: expires})
+}
+
+// CompleteRequest is a worker's posted outcome for a leased job
+// (shared with the worker client, like LeaseRequest). Token
+// authenticates as in HeartbeatRequest.
+type CompleteRequest struct {
+	WorkerID string `json:"worker_id"`
+	Token    string `json:"token"`
+	JobID    string `json:"job_id"`
+	WorkerResult
+}
+
+func (s *Service) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, maxCompleteBody, looseFields, &req) {
+		return
+	}
+	if !writeWorkerError(w, s.Complete(req.WorkerID, req.Token, req.JobID, req.WorkerResult)) {
+		return
+	}
+	snap, ok := s.Status(req.JobID)
+	if !ok {
+		// The completion can prune this very record (MaxJobRecords);
+		// reconstruct the state the accepted outcome implies.
+		snap = JobSnapshot{ID: req.JobID, State: StateDone, Worker: req.WorkerID}
+		switch {
+		case req.Canceled:
+			snap.State = StateCanceled
+		case req.Error != "":
+			snap.State = StateFailed
+		}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// writeWorkerError maps lease-protocol errors onto status codes (404
+// unknown job, 409 lease lost, 400 otherwise) and reports whether the
+// request may proceed.
+func writeWorkerError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job")
+	case errors.Is(err, ErrLeaseLost):
+		// 409: the worker's claim conflicts with the coordinator's
+		// state — abandon the run and lease something else.
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrShuttingDown):
+		// 503: this coordinator is going away; the restarted one owns
+		// the job. Distinct from 400 so the worker knows to retry
+		// later rather than treat its payload as malformed.
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return false
 }

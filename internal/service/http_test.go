@@ -3,8 +3,10 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -314,5 +316,233 @@ func TestHTTPConcurrentSubmissions(t *testing.T) {
 	doJSON(t, "GET", srv.URL+"/api/v1/cache", nil, &cs)
 	if cs.Features.Hits == 0 {
 		t.Fatal("feature cache saw no reuse across overlapping windows")
+	}
+}
+
+// TestHTTPHealthzDraining: once Shutdown begins the health endpoint
+// must flip to 503 "draining" so load balancers stop routing here —
+// an "ok" from a draining coordinator sends tenants to a server that
+// rejects their submissions.
+func TestHTTPHealthzDraining(t *testing.T) {
+	s := NewService(Options{Workers: 1, CacheShards: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var hb healthBody
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &hb); code != http.StatusOK || hb.Status != "ok" {
+		t.Fatalf("live healthz = %d %q", code, hb.Status)
+	}
+	s.Shutdown()
+	if code := doJSON(t, "GET", srv.URL+"/healthz", nil, &hb); code != http.StatusServiceUnavailable || hb.Status != "draining" {
+		t.Fatalf("draining healthz = %d %q, want 503 draining", code, hb.Status)
+	}
+	// Submissions during the drain get the matching 503, not a 400.
+	var apiErr apiError
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/campaigns", smallReq(), &apiErr); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", code)
+	}
+}
+
+// TestHTTPListFilters pins the listing query surface: ?state=, ?limit=
+// and ?after= compose, an empty listing is [] (never null), and bad
+// parameters are 400s. RemoteOnly keeps every job inert so the states
+// are fully deterministic.
+func TestHTTPListFilters(t *testing.T) {
+	s := NewService(Options{RemoteOnly: true, CacheShards: 4})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Shutdown()
+	})
+
+	// Empty listing: literally "[]".
+	resp, err := http.Get(srv.URL + "/api/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Fatalf("empty listing body = %q, want []", got)
+	}
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := s.Submit(smallReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Diversify states: lease job 1 to a worker, cancel job 2.
+	if g, err := s.Lease("w1", 0); err != nil || g == nil || g.JobID != ids[0] {
+		t.Fatalf("lease = %+v, %v", g, err)
+	}
+	s.Cancel(ids[1])
+
+	get := func(query string) []JobSnapshot {
+		t.Helper()
+		var list []JobSnapshot
+		if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns"+query, nil, &list); code != http.StatusOK {
+			t.Fatalf("list %q = %d", query, code)
+		}
+		return list
+	}
+	if list := get("?state=queued"); len(list) != 2 || list[0].ID != ids[2] || list[1].ID != ids[3] {
+		t.Fatalf("?state=queued = %+v", list)
+	}
+	if list := get("?state=leased"); len(list) != 1 || list[0].ID != ids[0] || list[0].Worker != "w1" {
+		t.Fatalf("?state=leased = %+v", list)
+	}
+	if list := get("?limit=2"); len(list) != 2 || list[0].ID != ids[0] {
+		t.Fatalf("?limit=2 = %+v", list)
+	}
+	if list := get("?after=" + ids[1]); len(list) != 2 || list[0].ID != ids[2] {
+		t.Fatalf("?after = %+v", list)
+	}
+	if list := get("?state=queued&after=" + ids[2] + "&limit=5"); len(list) != 1 || list[0].ID != ids[3] {
+		t.Fatalf("combined filters = %+v", list)
+	}
+	// A filter that matches nothing still yields [].
+	resp, err = http.Get(srv.URL + "/api/v1/campaigns?state=failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Fatalf("no-match listing body = %q, want []", got)
+	}
+	var apiErr apiError
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns?state=bogus", nil, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("bogus state = %d, want 400", code)
+	}
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/campaigns?limit=nope", nil, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("bogus limit = %d, want 400", code)
+	}
+}
+
+// TestHTTPRetryAfterDerived: the 429 hint must reflect the backlog,
+// not a hardcoded constant. Two stuck pending jobs at the default 5s
+// mean over one slot put the deterministic hint at 10s.
+func TestHTTPRetryAfterDerived(t *testing.T) {
+	s := NewService(Options{RemoteOnly: true, CacheShards: 4, MaxQueued: 2})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Shutdown()
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(smallReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, _ := json.Marshal(smallReq())
+	resp, err := http.Post(srv.URL+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+	}
+	if secs != 10 {
+		t.Fatalf("Retry-After = %d, want 10 (2 pending × 5s default mean / 1 slot)", secs)
+	}
+}
+
+// TestHTTPWorkerEndpointErrors walks the lease protocol's error
+// surface over real HTTP: missing worker_id, unknown jobs, foreign
+// workers and no-work 204s.
+func TestHTTPWorkerEndpointErrors(t *testing.T) {
+	s := NewService(Options{RemoteOnly: true, CacheShards: 4})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Shutdown()
+	})
+
+	// Empty queue: 204, no body.
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(map[string]any{"worker_id": "w1"})
+	resp, err := http.Post(srv.URL+"/api/v1/worker/lease", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("idle lease = %d, want 204", resp.StatusCode)
+	}
+	// Missing worker_id: 400.
+	var apiErr apiError
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/lease", map[string]any{}, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("anonymous lease = %d, want 400", code)
+	}
+	// Heartbeat for an unknown job: 404.
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/heartbeat",
+		map[string]any{"worker_id": "w1", "job_id": "job-999999"}, &apiErr); code != http.StatusNotFound {
+		t.Fatalf("unknown-job heartbeat = %d, want 404", code)
+	}
+
+	id, err := s.Submit(smallReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grant LeaseGrant
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/lease",
+		map[string]any{"worker_id": "w1"}, &grant); code != http.StatusOK || grant.JobID != id {
+		t.Fatalf("lease = %d %+v", code, grant)
+	}
+	if grant.Req.Target != "PLPro" || grant.TTLSeconds <= 0 || grant.ExpiresAt.IsZero() || grant.Token == "" {
+		t.Fatalf("grant incomplete: %+v", grant)
+	}
+	// A foreign worker's heartbeat and complete are 409s — and so is
+	// the holder's own ID without the lease token, which anyone can
+	// read out of the public job listing.
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/heartbeat",
+		map[string]any{"worker_id": "w2", "token": grant.Token, "job_id": id}, &apiErr); code != http.StatusConflict {
+		t.Fatalf("foreign heartbeat = %d, want 409", code)
+	}
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/heartbeat",
+		map[string]any{"worker_id": "w1", "job_id": id}, &apiErr); code != http.StatusConflict {
+		t.Fatalf("tokenless heartbeat = %d, want 409", code)
+	}
+	// ... and a rejected complete must not smuggle cache deltas into
+	// the shared caches (score poisoning would silently break the
+	// byte-identical rerun guarantee).
+	bogus := []ScoreEntry{{Target: "PLPro", FP: molForTest(1).FP(), Result: mockResult(1)}}
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/complete",
+		map[string]any{"worker_id": "w1", "token": "forged", "job_id": id, "canceled": true, "Scores": bogus}, &apiErr); code != http.StatusConflict {
+		t.Fatalf("forged-token complete = %d, want 409", code)
+	}
+	if st := s.ScoreCacheStats(); st.Entries != 0 {
+		t.Fatalf("rejected complete wrote %d entries into the shared score cache", st.Entries)
+	}
+	// The holder heartbeats fine, and its complete lands.
+	var hb heartbeatResponse
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/heartbeat",
+		map[string]any{"worker_id": "w1", "token": grant.Token, "job_id": id, "stage": "s1-dock", "progress": 0.5}, &hb); code != http.StatusOK {
+		t.Fatalf("holder heartbeat = %d", code)
+	}
+	var snap JobSnapshot
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/complete",
+		map[string]any{"worker_id": "w1", "token": grant.Token, "job_id": id,
+			"summary": ResultSummary{ScientificYield: 0.5}}, &snap); code != http.StatusOK {
+		t.Fatalf("holder complete = %d", code)
+	}
+	if snap.State != StateDone || snap.Worker != "w1" {
+		t.Fatalf("completed snapshot = %+v", snap)
+	}
+	// A complete that names no outcome is a 400.
+	id2, _ := s.Submit(smallReq())
+	doJSON(t, "POST", srv.URL+"/api/v1/worker/lease", map[string]any{"worker_id": "w1"}, &grant)
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/worker/complete",
+		map[string]any{"worker_id": "w1", "job_id": id2}, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("outcome-less complete = %d, want 400", code)
 	}
 }

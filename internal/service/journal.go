@@ -43,6 +43,8 @@ type eventKind string
 const (
 	evSubmitted eventKind = "submitted"
 	evStarted   eventKind = "started"
+	evLeased    eventKind = "leased"   // handed to a remote worker under a TTL lease
+	evRequeued  eventKind = "requeued" // lease expired; job back in the queue
 	evDone      eventKind = "done"
 	evFailed    eventKind = "failed"
 	evCanceled  eventKind = "canceled"
@@ -66,6 +68,13 @@ type journalEvent struct {
 	Summary *ResultSummary `json:"summary,omitempty"`
 	// Error rides on failed events.
 	Error string `json:"error,omitempty"`
+	// Worker rides on leased events (the lease holder) and on terminal
+	// events posted by a remote worker.
+	Worker string `json:"worker,omitempty"`
+	// Token rides on leased events: the per-lease secret the holder
+	// presents on heartbeat/complete. Journaled so a surviving worker
+	// can re-attach to its lease across a coordinator restart.
+	Token string `json:"token,omitempty"`
 }
 
 // journal is the append-only, per-event-fsynced job event log.
@@ -103,16 +112,33 @@ func openJournal(dir string) (*journal, error) {
 // that has been acknowledged (e.g. a submit that returned an ID)
 // survives an immediate crash.
 func (jl *journal) append(ev journalEvent) error {
-	b, err := json.Marshal(ev)
-	if err != nil {
-		return fmt.Errorf("service: encoding journal event: %w", err)
+	return jl.appendBatch([]journalEvent{ev})
+}
+
+// appendBatch writes several events as JSON lines under a single
+// fsync. The lease-expiry watchdog journals every requeue of a sweep
+// this way — after a restart re-arms many dead workers' leases with
+// the same TTL, they all lapse on one tick, and per-event fsyncs there
+// would stall the scheduler mutex for the whole run of writes.
+func (jl *journal) appendBatch(events []journalEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("service: encoding journal event: %w", err)
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
 	}
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if jl.f == nil {
 		return fmt.Errorf("service: journal is closed")
 	}
-	if _, err := jl.f.Write(append(b, '\n')); err != nil {
+	if _, err := jl.f.Write(buf); err != nil {
 		return fmt.Errorf("service: appending journal event: %w", err)
 	}
 	if err := jl.f.Sync(); err != nil {
@@ -166,8 +192,11 @@ func readJournal(dir string) ([]journalEvent, error) {
 // first-submission order, plus the highest job number seen (so a
 // reopened scheduler continues the ID sequence without collisions).
 // Jobs left non-terminal by the stream come back StateQueued with a
-// fresh cancel channel, ready to re-enqueue; duplicate started events
-// (a job interrupted once already) simply overwrite the start time.
+// fresh cancel channel, ready to re-enqueue — except jobs whose last
+// event is a lease, which come back StateLeased with the holder
+// preserved so the worker can re-attach across the restart; duplicate
+// started events (a job interrupted once already) simply overwrite the
+// start time.
 func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 	byID := make(map[string]*job)
 	for _, ev := range events {
@@ -190,9 +219,21 @@ func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 			}
 			continue
 		}
+		if ev.Worker != "" {
+			j.leaseWorker = ev.Worker
+		}
 		switch ev.Kind {
 		case evStarted:
 			j.started = ev.Time
+		case evLeased:
+			j.state = StateLeased
+			j.leaseToken = ev.Token
+			j.started = ev.Time
+		case evRequeued:
+			j.state = StateQueued
+			j.leaseWorker = ""
+			j.leaseToken = ""
+			j.started = time.Time{}
 		case evDone:
 			j.state = StateDone
 			j.finished = ev.Time
@@ -210,9 +251,11 @@ func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 		}
 	}
 	// Interrupted jobs rerun from scratch: reset the stale start time so
-	// their snapshots read as queued until a worker re-pops them.
+	// their snapshots read as queued until a worker re-pops them. Leased
+	// jobs keep theirs — the remote worker may still be running and
+	// re-attach after the restart (restore re-arms the lease TTL).
 	for _, j := range jobs {
-		if !j.state.Terminal() {
+		if !j.state.Terminal() && j.state != StateLeased {
 			j.started = time.Time{}
 		}
 	}

@@ -1,9 +1,15 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,12 +17,34 @@ import (
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
+	StateQueued JobState = "queued"
+	// StateLeased marks a job handed to a remote worker under a TTL
+	// lease; a worker that stops heartbeating loses the lease and the
+	// job re-enters the queue under its original ID.
+	StateLeased   JobState = "leased"
 	StateRunning  JobState = "running"
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
 )
+
+// countedStates enumerates every state once, indexing the scheduler's
+// incrementally maintained per-state counters.
+var countedStates = [...]JobState{
+	StateQueued, StateLeased, StateRunning, StateDone, StateFailed, StateCanceled,
+}
+
+const numStates = len(countedStates)
+
+// stateIdx maps a state to its counter slot.
+func stateIdx(st JobState) int {
+	for i, s := range countedStates {
+		if s == st {
+			return i
+		}
+	}
+	return numStates - 1
+}
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
@@ -47,6 +75,18 @@ type job struct {
 	// overlaps one must not suppress its terminal journal event — the
 	// user's cancel survives restarts.
 	userCanceled bool
+
+	// Lease bookkeeping: which remote worker holds the job, until when,
+	// and the TTL each heartbeat extends the lease by. leaseWorker is
+	// kept after completion so listings show which worker ran the job.
+	// leaseToken is the per-lease secret the holder must present on
+	// heartbeat/complete: worker IDs are published in job listings, so
+	// they alone must not authenticate a completion (a forged complete
+	// could poison the shared score cache).
+	leaseWorker string
+	leaseToken  string
+	leaseExpiry time.Time
+	leaseTTL    time.Duration
 }
 
 // requestCancel closes the job's cancel channel exactly once.
@@ -64,6 +104,7 @@ func (j *job) snapshotLocked() JobSnapshot {
 		Progress:  j.progress,
 		Error:     j.err,
 		Submitted: j.submitted,
+		Worker:    j.leaseWorker,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -87,6 +128,9 @@ type JobSnapshot struct {
 	Submitted time.Time  `json:"submitted_at"`
 	Started   *time.Time `json:"started_at,omitempty"`
 	Finished  *time.Time `json:"finished_at,omitempty"`
+	// Worker is the remote worker that holds (or last held) the job's
+	// lease; empty for jobs executed in-process.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Duration reports how long the job ran. Jobs that never left the
@@ -106,57 +150,119 @@ func (s JobSnapshot) Duration() time.Duration {
 // jobs are already waiting (HTTP surfaces it as 429).
 var ErrQueueFull = errors.New("service: submission queue is full")
 
+// ErrShuttingDown is returned by Submit once a drain has begun (HTTP
+// surfaces it as 503, matching the draining health probe).
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// ErrLeaseLost is returned to a remote worker whose lease on a job is
+// no longer valid: it expired and the job was re-enqueued (possibly
+// re-leased to another worker), or the job was canceled. The worker
+// must abandon the run; the coordinator owns the job again.
+var ErrLeaseLost = errors.New("service: lease lost")
+
+// Lease TTL bounds. A worker-requested TTL is clamped to
+// [minLeaseTTL, maxLeaseTTL]; the lower clamp relaxes to the
+// scheduler's configured default when that is smaller (fast tests).
+const (
+	defaultLeaseTTL = 30 * time.Second
+	minLeaseTTL     = time.Second
+	maxLeaseTTL     = 5 * time.Minute
+)
+
+// durSamples is the window of recently finished runs feeding the
+// Retry-After backpressure hint.
+const durSamples = 32
+
 // schedConfig bundles the scheduler's construction parameters.
 type schedConfig struct {
-	workers    int
-	maxQueued  int                      // pending-queue bound; 0 = unbounded
-	maxRecords int                      // retained terminal jobs; 0 = unbounded
-	record     func(journalEvent) error // journal appender; nil = in-memory only
-	onTerminal func()                   // runs after each job's terminal event
+	workers     int
+	remoteOnly  bool                       // no in-process workers: jobs run only via leases
+	leaseTTL    time.Duration              // default remote lease TTL; 0 = defaultLeaseTTL
+	maxQueued   int                        // pending-queue bound; 0 = unbounded
+	maxRecords  int                        // retained terminal jobs; 0 = unbounded
+	record      func(journalEvent) error   // journal appender; nil = in-memory only
+	recordBatch func([]journalEvent) error // many events, one fsync; nil = record per event
+	onTerminal  func()                     // runs after each job's terminal event
 }
 
-// scheduler runs queued jobs over a bounded worker pool.
+// scheduler runs queued jobs over a bounded worker pool and hands jobs
+// to remote workers under TTL leases.
 type scheduler struct {
-	run        func(*job) // executes one job's campaign
-	maxQueued  int
-	maxRecords int
-	record     func(journalEvent) error
-	onTerminal func()
+	run         func(*job) // executes one job's campaign
+	workerSlots int        // in-process worker goroutines
+	leaseTTL    time.Duration
+	maxQueued   int
+	maxRecords  int
+	record      func(journalEvent) error
+	recordBatch func([]journalEvent) error
+	onTerminal  func()
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for listing
-	pending  []*job   // FIFO queue of jobs awaiting a worker
+	order    []string        // submission order, for listing
+	pending  []*job          // FIFO queue of jobs awaiting a worker
+	leases   map[string]*job // jobs currently out on a remote lease
 	nextID   int
 	closed   bool
 	draining bool // drain in progress: pop hands out nothing
+
+	// stateN maintains per-state job tallies incrementally so health
+	// probes are O(states), not O(jobs × mutex). Updated at every
+	// transition by the goroutine holding the job's mutex.
+	stateN [numStates]atomic.Int64
+
+	// durRing holds the durations of recently finished runs (local and
+	// remote), feeding retryAfterSeconds.
+	durRing [durSamples]time.Duration
+	durIdx  int
+	durN    int
 
 	wake chan struct{} // pokes idle workers; buffered
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
 
-// newScheduler starts workers goroutines draining the queue.
+// newScheduler starts workers goroutines draining the queue plus the
+// lease-expiry watchdog.
 func newScheduler(cfg schedConfig, run func(*job)) *scheduler {
 	workers := cfg.workers
 	if workers < 1 {
 		workers = 1
 	}
+	if cfg.remoteOnly {
+		workers = 0
+	}
+	ttl := cfg.leaseTTL
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
 	s := &scheduler{
-		run:        run,
-		maxQueued:  cfg.maxQueued,
-		maxRecords: cfg.maxRecords,
-		record:     cfg.record,
-		onTerminal: cfg.onTerminal,
-		jobs:       make(map[string]*job),
-		wake:       make(chan struct{}, workers),
-		quit:       make(chan struct{}),
+		run:         run,
+		workerSlots: workers,
+		leaseTTL:    ttl,
+		maxQueued:   cfg.maxQueued,
+		maxRecords:  cfg.maxRecords,
+		record:      cfg.record,
+		recordBatch: cfg.recordBatch,
+		onTerminal:  cfg.onTerminal,
+		jobs:        make(map[string]*job),
+		leases:      make(map[string]*job),
+		wake:        make(chan struct{}, workers+1),
+		quit:        make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.leaseLoop()
 	return s
+}
+
+// countMove shifts one job between per-state tallies.
+func (s *scheduler) countMove(from, to JobState) {
+	s.stateN[stateIdx(from)].Add(-1)
+	s.stateN[stateIdx(to)].Add(1)
 }
 
 // submit enqueues a request and returns the new job's ID. The
@@ -166,7 +272,7 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return "", fmt.Errorf("service: scheduler is shut down")
+		return "", ErrShuttingDown
 	}
 	if s.maxQueued > 0 && len(s.pending) >= s.maxQueued {
 		s.mu.Unlock()
@@ -190,6 +296,7 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.pending = append(s.pending, j)
+	s.stateN[stateIdx(StateQueued)].Add(1)
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -200,10 +307,14 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 
 // restore inserts journal-replayed jobs: terminal ones become
 // servable records, non-terminal ones re-enter the pending queue under
-// their original IDs. nextID advances past the highest replayed job
-// number so new submissions never collide.
+// their original IDs. Jobs that were leased to a remote worker at
+// crash time come back leased with a fresh grace TTL — a surviving
+// worker re-attaches via its next heartbeat or complete, and a dead
+// one's lease expires into a requeue. nextID advances past the highest
+// replayed job number so new submissions never collide.
 func (s *scheduler) restore(jobs []*job, maxID int) {
 	requeued := 0
+	now := time.Now()
 	s.mu.Lock()
 	for _, j := range jobs {
 		if _, dup := s.jobs[j.id]; dup {
@@ -211,7 +322,13 @@ func (s *scheduler) restore(jobs []*job, maxID int) {
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
-		if !j.state.Terminal() {
+		s.stateN[stateIdx(j.state)].Add(1)
+		switch {
+		case j.state == StateLeased:
+			j.leaseTTL = s.leaseTTL
+			j.leaseExpiry = now.Add(s.leaseTTL)
+			s.leases[j.id] = j
+		case !j.state.Terminal():
 			s.pending = append(s.pending, j)
 			requeued++
 		}
@@ -264,6 +381,7 @@ func (s *scheduler) pop() *job {
 		j.mu.Lock()
 		runnable := j.state == StateQueued
 		if runnable {
+			s.countMove(StateQueued, StateRunning)
 			j.state = StateRunning
 			j.started = time.Now()
 		}
@@ -284,7 +402,14 @@ func (s *scheduler) execute(j *job) {
 	if !j.state.Terminal() {
 		j.state = StateDone
 	}
+	// The run function sets the terminal state directly; diff the
+	// counters here so they track whatever it chose.
+	s.countMove(StateRunning, j.state)
 	j.finished = time.Now()
+	var dur time.Duration
+	if !j.started.IsZero() && j.state != StateCanceled {
+		dur = j.finished.Sub(j.started)
+	}
 	ev := journalEvent{Job: j.id, Time: j.finished}
 	switch j.state {
 	case StateDone:
@@ -305,6 +430,9 @@ func (s *scheduler) execute(j *job) {
 	// (user intent survives restarts; drain interruptions resume).
 	suppress := j.drainCanceled && !j.userCanceled && j.state == StateCanceled
 	j.mu.Unlock()
+	if dur > 0 {
+		s.recordDuration(dur)
+	}
 	if !suppress && s.record != nil {
 		_ = s.record(ev)
 	}
@@ -312,6 +440,330 @@ func (s *scheduler) execute(j *job) {
 		s.onTerminal()
 	}
 	s.pruneTerminal()
+}
+
+// lease hands the next runnable job to a remote worker under a TTL
+// lease, journaling the handoff before the grant is acknowledged. A
+// nil job means no work is available (empty queue, drain, or
+// shutdown). A worker-requested ttl of 0 takes the scheduler default;
+// explicit values are clamped to [minLeaseTTL, maxLeaseTTL], with the
+// lower clamp relaxed to the configured default when that is smaller.
+func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*job, error) {
+	if workerID == "" {
+		return nil, fmt.Errorf("service: lease requires a worker id")
+	}
+	if ttl <= 0 {
+		ttl = s.leaseTTL
+	} else {
+		lo := minLeaseTTL
+		if s.leaseTTL < lo {
+			lo = s.leaseTTL
+		}
+		if ttl < lo {
+			ttl = lo
+		}
+		if ttl > maxLeaseTTL {
+			ttl = maxLeaseTTL
+		}
+	}
+	// Mint before taking s.mu: the random read must not stretch the
+	// critical section idle workers poll through.
+	token, err := newLeaseToken()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return nil, nil
+	}
+	var leased *job
+	for len(s.pending) > 0 {
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		j.mu.Lock()
+		if j.state == StateQueued {
+			s.countMove(StateQueued, StateLeased)
+			j.state = StateLeased
+			j.leaseWorker = workerID
+			j.leaseToken = token
+			j.leaseTTL = ttl
+			j.leaseExpiry = now.Add(ttl)
+			j.started = now
+			leased = j
+		}
+		j.mu.Unlock()
+		if leased != nil {
+			break
+		}
+	}
+	if leased == nil {
+		return nil, nil
+	}
+	s.leases[leased.id] = leased
+	if s.record != nil {
+		if err := s.record(journalEvent{Kind: evLeased, Job: leased.id, Time: now, Worker: workerID, Token: token}); err != nil {
+			// The grant was never acknowledged: put the job back where
+			// it was.
+			leased.mu.Lock()
+			s.countMove(StateLeased, StateQueued)
+			leased.state = StateQueued
+			leased.leaseWorker = ""
+			leased.leaseToken = ""
+			leased.started = time.Time{}
+			leased.mu.Unlock()
+			delete(s.leases, leased.id)
+			s.pending = append([]*job{leased}, s.pending...)
+			return nil, err
+		}
+	}
+	return leased, nil
+}
+
+// newLeaseToken mints the per-lease secret a worker must present on
+// heartbeat/complete. Worker IDs are published in job listings, so
+// possession of the ID alone must not be able to complete (and thereby
+// poison the shared caches of) someone else's lease.
+func newLeaseToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: minting lease token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// heartbeat extends a worker's lease and records the remotely observed
+// stage/progress. ErrLeaseLost tells the worker to abandon the run.
+func (s *scheduler) heartbeat(workerID, token, jobID, stage string, progress float64, now time.Time) (time.Time, error) {
+	j, ok := s.get(jobID)
+	if !ok {
+		return time.Time{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateLeased || j.leaseWorker != workerID || j.leaseToken != token {
+		return time.Time{}, fmt.Errorf("%w: job %s is %s", ErrLeaseLost, jobID, j.state)
+	}
+	j.leaseExpiry = now.Add(j.leaseTTL)
+	if stage != "" {
+		j.stage = stage
+	}
+	if progress > j.progress {
+		j.progress = progress
+	}
+	return j.leaseExpiry, nil
+}
+
+// completeRemote finalizes a leased job with the outcome a remote
+// worker posted back, journaling the terminal event. A worker whose
+// lease was lost in the meantime gets ErrLeaseLost and must discard
+// the result — the job is owned by the queue (or another worker)
+// again.
+func (s *scheduler) completeRemote(workerID, token, jobID string, state JobState, errMsg string, sum *ResultSummary, now time.Time) error {
+	if !state.Terminal() {
+		return fmt.Errorf("service: complete with non-terminal state %q", state)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		// The sentinel maps to 503 at the HTTP layer, telling the worker
+		// "this coordinator is going away, the restarted one owns the
+		// job" — not 400, which would read as a malformed request.
+		return ErrShuttingDown
+	}
+	s.mu.Unlock()
+	j, ok := s.get(jobID)
+	if !ok {
+		return ErrUnknownJob
+	}
+	j.mu.Lock()
+	if j.state != StateLeased || j.leaseWorker != workerID || j.leaseToken != token {
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("%w: job %s is %s", ErrLeaseLost, jobID, st)
+	}
+	ev := journalEvent{Job: jobID, Time: now, Worker: workerID}
+	switch state {
+	case StateDone:
+		if sum != nil {
+			ev.Summary = sum
+		}
+		ev.Kind = evDone
+	case StateFailed:
+		ev.Kind = evFailed
+		ev.Error = errMsg
+	case StateCanceled:
+		ev.Kind = evCanceled
+	}
+	// Journal before applying, while still holding j.mu: the 200 this
+	// acks promises the outcome survives a restart, so a failed append
+	// (journal closed by a racing Shutdown) must refuse the complete —
+	// the worker retries against the restarted coordinator, which still
+	// shows the job leased. Acking first and journaling best-effort
+	// would let the result evaporate across the restart.
+	if s.record != nil {
+		if err := s.record(ev); err != nil {
+			j.mu.Unlock()
+			return ErrShuttingDown
+		}
+	}
+	s.countMove(StateLeased, state)
+	j.state = state
+	j.finished = now
+	switch state {
+	case StateDone:
+		j.progress = 1
+		if sum != nil {
+			j.result = &jobResult{summary: *sum}
+		}
+	case StateFailed:
+		j.err = errMsg
+	}
+	var dur time.Duration
+	if !j.started.IsZero() && state != StateCanceled {
+		dur = now.Sub(j.started)
+	}
+	j.mu.Unlock()
+	s.mu.Lock()
+	delete(s.leases, jobID)
+	s.mu.Unlock()
+	if dur > 0 {
+		s.recordDuration(dur)
+	}
+	// No onTerminal here: Service.Complete checkpoints AFTER merging
+	// the worker's cache deltas — a checkpoint now would both exclude
+	// this job's own docking labels and double the full-cache fsync.
+	s.pruneTerminal()
+	return nil
+}
+
+// leaseLoop is the expiry watchdog: leases whose worker stopped
+// heartbeating are revoked and their jobs re-enqueued.
+func (s *scheduler) leaseLoop() {
+	defer s.wg.Done()
+	tick := s.leaseTTL / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.expireLeases(time.Now())
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// expireLeases re-enqueues every leased job whose lease has lapsed, at
+// the front of the queue (it was submitted before anything currently
+// pending) and under its original ID — Seed and LibOffset ride along
+// in the retained SubmitRequest, so the rerun is byte-identical. The
+// requeue is journaled so a coordinator restart does not resurrect the
+// dead lease.
+func (s *scheduler) expireLeases(now time.Time) {
+	s.mu.Lock()
+	if len(s.leases) == 0 || s.draining || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	var expired []*job
+	for _, j := range s.leases {
+		j.mu.Lock()
+		if j.state == StateLeased && now.After(j.leaseExpiry) {
+			s.countMove(StateLeased, StateQueued)
+			j.state = StateQueued
+			j.leaseWorker = ""
+			j.leaseToken = ""
+			j.started = time.Time{}
+			j.stage = ""
+			j.progress = 0
+			expired = append(expired, j)
+		}
+		j.mu.Unlock()
+	}
+	// s.leases is a map, so simultaneously expired jobs (common after a
+	// restart re-arms every restored lease with the same TTL) arrive in
+	// random order; sort by job number so the requeue front stays in
+	// submission order.
+	sort.Slice(expired, func(i, k int) bool { return jobIDAfter(expired[k].id, expired[i].id) })
+	if len(expired) > 0 {
+		s.pending = append(expired[:len(expired):len(expired)], s.pending...)
+	}
+	var evs []journalEvent
+	for _, j := range expired {
+		delete(s.leases, j.id)
+		evs = append(evs, journalEvent{Kind: evRequeued, Job: j.id, Time: now})
+	}
+	// One batched write+fsync for the whole sweep: a mass expiry (every
+	// restored lease lapsing on the same tick) must not hold s.mu for
+	// one fsync per dead worker.
+	if s.recordBatch != nil {
+		_ = s.recordBatch(evs)
+	} else if s.record != nil {
+		for _, ev := range evs {
+			_ = s.record(ev)
+		}
+	}
+	s.mu.Unlock()
+	for range expired {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// recordDuration feeds one finished run into the Retry-After window.
+func (s *scheduler) recordDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.durRing[s.durIdx] = d
+	s.durIdx = (s.durIdx + 1) % durSamples
+	if s.durN < durSamples {
+		s.durN++
+	}
+	s.mu.Unlock()
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the current
+// backlog: queue depth × recent mean job duration, spread over the
+// available execution slots (in-process workers plus active remote
+// leases), clamped to [1s, 60s]. With no finished runs yet the mean
+// defaults to 5s.
+func (s *scheduler) retryAfterSeconds() int {
+	s.mu.Lock()
+	depth := len(s.pending)
+	slots := s.workerSlots + len(s.leases)
+	var sum time.Duration
+	for i := 0; i < s.durN; i++ {
+		sum += s.durRing[i]
+	}
+	n := s.durN
+	s.mu.Unlock()
+	mean := 5 * time.Second
+	if n > 0 {
+		mean = sum / time.Duration(n)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	wait := time.Duration(depth) * mean / time.Duration(slots)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // get returns the job by ID.
@@ -324,29 +776,71 @@ func (s *scheduler) get(id string) (*job, bool) {
 
 // cancelJob cancels a queued or running job. Canceling a terminal job is
 // a no-op; unknown IDs return false.
-func (s *scheduler) cancelJob(id string) bool {
+func (s *scheduler) cancelJob(id string) (JobSnapshot, error) {
+	// After shutdown the journal is closed: a cancel acknowledged now
+	// could not be recorded, and the restarted coordinator would revive
+	// the job — an acked-then-lost cancel. Refuse instead (HTTP 503);
+	// the tenant retries against the next instance. The in-flight
+	// window exists because the listener drains after the service.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return JobSnapshot{}, ErrShuttingDown
+	}
 	j, ok := s.get(id)
 	if !ok {
-		return false
+		return JobSnapshot{}, ErrUnknownJob
 	}
-	var ev *journalEvent
+	terminal := false
 	unqueue := false
+	unlease := false
 	j.mu.Lock()
 	switch j.state {
-	case StateQueued:
-		// Never started: mark terminal immediately; pop() will skip it.
+	case StateQueued, StateLeased:
+		// Queued: never started, mark terminal immediately; pop() will
+		// skip it. Leased: the remote worker cannot be signaled
+		// directly — mark terminal now and let its next heartbeat or
+		// complete come back ErrLeaseLost, at which point it abandons
+		// the run. Either way, journal BEFORE applying, still under
+		// j.mu: the 200 this acks promises the cancel survives a
+		// restart, so a failed append (journal closed by a racing
+		// Shutdown) must refuse the cancel rather than ack it and let
+		// the restarted coordinator revive the job.
+		from := j.state
+		now := time.Now()
+		if s.record != nil {
+			if err := s.record(journalEvent{Kind: evCanceled, Job: j.id, Time: now}); err != nil {
+				j.mu.Unlock()
+				return JobSnapshot{}, ErrShuttingDown
+			}
+		}
+		s.countMove(from, StateCanceled)
 		j.state = StateCanceled
-		j.finished = time.Now()
+		j.leaseToken = ""
+		j.finished = now
 		j.userCanceled = true
-		unqueue = true
-		ev = &journalEvent{Kind: evCanceled, Job: j.id, Time: j.finished}
+		terminal = true
+		unqueue = from == StateQueued
+		unlease = from == StateLeased
 	case StateRunning:
 		// The campaign observes the closed channel between stages and
-		// returns ErrCanceled; execute journals the terminal state.
+		// returns ErrCanceled; execute journals the terminal state (the
+		// drain barrier waits for worker goroutines, so that append
+		// cannot race the journal's close).
 		j.userCanceled = true
 	}
+	// Snapshot under the same lock: a caller re-reading through the job
+	// table could race a concurrent completion's prune and find nothing
+	// — or worse, fabricate a state the journal contradicts.
+	snap := j.snapshotLocked()
 	j.mu.Unlock()
 	j.requestCancel()
+	if unlease {
+		s.mu.Lock()
+		delete(s.leases, j.id)
+		s.mu.Unlock()
+	}
 	if unqueue {
 		// Drop the tombstone from the pending queue so it stops holding
 		// a MaxQueued slot (pop would only skip it once a worker frees
@@ -360,10 +854,12 @@ func (s *scheduler) cancelJob(id string) bool {
 		}
 		s.mu.Unlock()
 	}
-	if ev != nil && s.record != nil {
-		_ = s.record(*ev)
+	if terminal {
+		// The cancel was terminal (queued or leased): enforce the
+		// record bound now rather than at the next completion.
+		s.pruneTerminal()
 	}
-	return true
+	return snap, nil
 }
 
 // pruneTerminal drops the oldest terminal job records beyond
@@ -378,14 +874,16 @@ func (s *scheduler) pruneTerminal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var terminal []string // IDs of terminal jobs, oldest first
+	states := map[string]JobState{}
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
 		done := j.state.Terminal()
-		j.mu.Unlock()
 		if done {
 			terminal = append(terminal, id)
+			states[id] = j.state
 		}
+		j.mu.Unlock()
 	}
 	drop := len(terminal) - s.maxRecords
 	if drop <= 0 {
@@ -395,6 +893,8 @@ func (s *scheduler) pruneTerminal() {
 	for _, id := range terminal[:drop] {
 		doomed[id] = true
 		delete(s.jobs, id)
+		// Pruned records leave the table, so they leave the tallies too.
+		s.stateN[stateIdx(states[id])].Add(-1)
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
@@ -417,30 +917,84 @@ func (s *scheduler) jobsInOrder() []*job {
 }
 
 // list snapshots every job in submission order.
-func (s *scheduler) list() []JobSnapshot {
+func (s *scheduler) list() []JobSnapshot { return s.listFiltered(jobQuery{}) }
+
+// jobQuery bounds and filters a job listing.
+type jobQuery struct {
+	state JobState // only jobs in this state; "" = all
+	after string   // exclusive lower bound on job ID; "" = from the start
+	limit int      // max snapshots returned; <= 0 = unbounded
+}
+
+// listFiltered snapshots jobs in submission order under the query's
+// bounds. Only jobs that pass the cursor are locked, and the walk
+// stops as soon as limit snapshots are collected, so a bounded page
+// over a large job table stays cheap. Always returns a non-nil slice
+// (the HTTP listing guarantees [] over null).
+func (s *scheduler) listFiltered(q jobQuery) []JobSnapshot {
 	s.mu.Lock()
-	ids := append([]string(nil), s.order...)
-	jobs := make([]*job, 0, len(ids))
-	for _, id := range ids {
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		// IDs are handed out in submission order, so the cursor is a
+		// comparison — and keeps working even when the cursor job
+		// itself has been pruned.
+		if q.after != "" && !jobIDAfter(id, q.after) {
+			continue
+		}
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
-	out := make([]JobSnapshot, 0, len(jobs))
+	capHint := len(jobs)
+	if q.limit > 0 && q.limit < capHint {
+		capHint = q.limit
+	}
+	out := make([]JobSnapshot, 0, capHint)
 	for _, j := range jobs {
 		j.mu.Lock()
-		out = append(out, j.snapshotLocked())
+		snap := j.snapshotLocked()
 		j.mu.Unlock()
+		if q.state != "" && snap.State != q.state {
+			continue
+		}
+		out = append(out, snap)
+		if q.limit > 0 && len(out) >= q.limit {
+			break
+		}
 	}
 	return out
 }
 
-// counts tallies jobs by state for the health endpoint.
+// jobIDAfter reports whether job ID a sorts after the cursor b.
+// Both-numeric IDs ("job-%06d") compare by job number, so the cursor
+// stays correct past the six-digit zero padding (job-1000000 sorts
+// after job-999999, not before); anything unparseable falls back to a
+// string comparison.
+func jobIDAfter(a, b string) bool {
+	na, errA := strconv.Atoi(strings.TrimPrefix(a, "job-"))
+	nb, errB := strconv.Atoi(strings.TrimPrefix(b, "job-"))
+	if errA == nil && errB == nil {
+		return na > nb
+	}
+	return a > b
+}
+
+// counts tallies jobs by state for the health endpoint, served from
+// the incrementally maintained counters — O(states), no job locks.
 func (s *scheduler) counts() map[JobState]int {
 	out := map[JobState]int{}
-	for _, snap := range s.list() {
-		out[snap.State]++
+	for i, st := range countedStates {
+		if n := s.stateN[i].Load(); n > 0 {
+			out[st] = int(n)
+		}
 	}
 	return out
+}
+
+// isDraining reports whether a shutdown/drain has begun.
+func (s *scheduler) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
 }
 
 // shutdown gracefully drains the scheduler: stop accepting
@@ -467,11 +1021,20 @@ func (s *scheduler) shutdown() {
 		j.mu.Lock()
 		switch j.state {
 		case StateQueued:
+			s.countMove(StateQueued, StateCanceled)
 			j.state = StateCanceled
 			j.finished = time.Now()
 			j.drainCanceled = true
 		case StateRunning:
 			j.drainCanceled = true
+		case StateLeased:
+			// Remote leases survive the drain untouched: the journal
+			// still shows the job leased, so a reopened coordinator
+			// re-adopts the lease (and expires it if the worker is
+			// gone). The worker's complete will bounce off the closed
+			// scheduler and the rerun stays deterministic.
+			j.mu.Unlock()
+			continue
 		}
 		j.mu.Unlock()
 		j.requestCancel()

@@ -76,7 +76,7 @@ func TestCancelFreesQueueSlot(t *testing.T) {
 	if _, err := s.submit(SubmitRequest{Target: "PLPro"}, time.Now()); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("pre-cancel overflow error = %v, want ErrQueueFull", err)
 	}
-	if !s.cancelJob(idQ) {
+	if _, err := s.cancelJob(idQ); err != nil {
 		t.Fatal("cancel returned false")
 	}
 	// The worker is still blocked, but the slot must already be free.
@@ -113,7 +113,7 @@ func TestUserCancelSurvivesDrain(t *testing.T) {
 		defer j.mu.Unlock()
 		return j.state == StateRunning
 	})
-	if !s.cancelJob(id) {
+	if _, err := s.cancelJob(id); err != nil {
 		t.Fatal("cancel returned false")
 	}
 	go func() {

@@ -61,6 +61,17 @@ type Options struct {
 	// with ErrQueueFull (HTTP 429), so one tenant cannot queue jobs
 	// until the server OOMs. 0 means unbounded.
 	MaxQueued int
+	// RemoteOnly starts the service with zero in-process workers: the
+	// coordinator only queues, leases and records jobs, and every
+	// campaign executes on remote workers (cmd/impeccable-worker)
+	// pulling work through the lease API.
+	RemoteOnly bool
+	// LeaseTTL is the default remote-worker lease duration: a worker
+	// that stops heartbeating for this long loses its job, which
+	// re-enters the queue under its original ID (Seed and LibOffset
+	// preserved, so the rerun is byte-identical). Workers may request a
+	// different TTL per lease, clamped to [1s, 5m]. 0 means 30s.
+	LeaseTTL time.Duration
 }
 
 // Service is a long-lived, multi-tenant campaign evaluation service:
@@ -171,6 +182,8 @@ func Open(opts Options) (*Service, error) {
 	}
 	cfg := schedConfig{
 		workers:    workers,
+		remoteOnly: opts.RemoteOnly,
+		leaseTTL:   opts.LeaseTTL,
 		maxQueued:  opts.MaxQueued,
 		maxRecords: opts.MaxJobRecords,
 	}
@@ -192,6 +205,7 @@ func Open(opts Options) (*Service, error) {
 			return nil, err
 		}
 		cfg.record = s.jl.append
+		cfg.recordBatch = s.jl.appendBatch
 		cfg.onTerminal = func() { _ = s.Snapshot() }
 	}
 	s.sched = newScheduler(cfg, s.runJob)
@@ -284,31 +298,42 @@ func (s *Service) Submit(req SubmitRequest) (string, error) {
 	return s.sched.submit(req, time.Now())
 }
 
+// BaseConfig translates a submission into the campaign config knobs
+// that determine its scientific output — the part shared by the
+// coordinator's in-process execution and remote workers, so both run
+// byte-identical science. Callers attach caches, worker width,
+// cancellation and progress observers on top.
+func BaseConfig(req SubmitRequest, t *receptor.Target) campaign.Config {
+	cfg := campaign.DefaultConfig(t)
+	if req.LibrarySize > 0 {
+		cfg.LibrarySize = req.LibrarySize
+	}
+	if req.TrainSize > 0 {
+		cfg.TrainSize = req.TrainSize
+	}
+	if req.CGCount > 0 {
+		cfg.CGCount = req.CGCount
+	}
+	if req.TopCompounds > 0 {
+		cfg.TopCompounds = req.TopCompounds
+	}
+	if req.OutliersPer > 0 {
+		cfg.OutliersPer = req.OutliersPer
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	cfg.FastProtocols = req.FastProtocols
+	cfg.Streaming = req.Streaming
+	return cfg
+}
+
 // configFor translates a submission into a campaign config wired to the
 // shared caches and the job's cancellation channel.
 func (s *Service) configFor(j *job) campaign.Config {
 	t := s.targets[j.req.Target]
-	cfg := campaign.DefaultConfig(t)
-	if j.req.LibrarySize > 0 {
-		cfg.LibrarySize = j.req.LibrarySize
-	}
-	if j.req.TrainSize > 0 {
-		cfg.TrainSize = j.req.TrainSize
-	}
-	if j.req.CGCount > 0 {
-		cfg.CGCount = j.req.CGCount
-	}
-	if j.req.TopCompounds > 0 {
-		cfg.TopCompounds = j.req.TopCompounds
-	}
-	if j.req.OutliersPer > 0 {
-		cfg.OutliersPer = j.req.OutliersPer
-	}
-	if j.req.Seed != 0 {
-		cfg.Seed = j.req.Seed
-	}
-	cfg.FastProtocols = j.req.FastProtocols
-	cfg.Streaming = j.req.Streaming || s.streaming
+	cfg := BaseConfig(j.req, t)
+	cfg.Streaming = cfg.Streaming || s.streaming
 	cfg.Workers = s.workers
 	cfg.DockCache = s.scores.ForTarget(t.Name)
 	cfg.Features = s.features
@@ -380,6 +405,99 @@ func (s *Service) trimResults() {
 	}
 }
 
+// LeaseGrant is what a remote worker receives from Lease: the job, its
+// full submission (Seed and LibOffset included, Streaming resolved
+// against the service-wide option) and the lease window. The worker
+// must heartbeat before ExpiresAt or the job is re-enqueued.
+type LeaseGrant struct {
+	JobID      string        `json:"job_id"`
+	Req        SubmitRequest `json:"req"`
+	TTLSeconds float64       `json:"ttl_seconds"`
+	ExpiresAt  time.Time     `json:"expires_at"`
+	// Token authenticates this lease's heartbeats and completion.
+	// Worker IDs are published in job listings; the token is shared
+	// only with the lease holder, so a forged complete (which would
+	// poison the shared score cache) needs more than a listing read.
+	Token string `json:"token"`
+}
+
+// Lease hands the next runnable job to the named remote worker under a
+// TTL lease (ttl 0 = the service default, explicit values clamped to
+// [1s, 5m]). Returns (nil, nil) when no work is available.
+func (s *Service) Lease(workerID string, ttl time.Duration) (*LeaseGrant, error) {
+	j, err := s.sched.lease(workerID, ttl, time.Now())
+	if err != nil || j == nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	grant := &LeaseGrant{
+		JobID:      j.id,
+		Req:        j.req,
+		TTLSeconds: j.leaseTTL.Seconds(),
+		ExpiresAt:  j.leaseExpiry,
+		Token:      j.leaseToken,
+	}
+	j.mu.Unlock()
+	// Resolve the service-wide streaming option into the shipped
+	// request so the worker reproduces the coordinator's execution path.
+	grant.Req.Streaming = grant.Req.Streaming || s.streaming
+	return grant, nil
+}
+
+// Heartbeat extends the named worker's lease on a job and records the
+// remotely observed stage/progress, returning the new expiry. The
+// token must be the one granted with the lease. A heartbeat that comes
+// back ErrLeaseLost tells the worker to abandon the run (the lease
+// expired, or the job was canceled).
+func (s *Service) Heartbeat(workerID, token, jobID, stage string, progress float64) (time.Time, error) {
+	return s.sched.heartbeat(workerID, token, jobID, stage, progress, time.Now())
+}
+
+// WorkerResult is the outcome a remote worker posts back for a leased
+// job: exactly one of Summary (success), Error (failure) or Canceled,
+// plus the score/feature-cache deltas the run produced.
+type WorkerResult struct {
+	Summary  *ResultSummary `json:"summary,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Canceled bool           `json:"canceled,omitempty"`
+	Scores   []ScoreEntry   `json:"scores,omitempty"`
+	Features []FeatureEntry `json:"features,omitempty"`
+}
+
+// Complete finalizes a leased job with a remote worker's result and
+// merges its cache deltas into the coordinator's sharded caches. The
+// deltas are merged only when the completion is accepted: an unknown
+// job, a lost lease or a malformed outcome must not be able to write
+// into the shared caches (a poisoned score entry would silently break
+// the byte-identical determinism every rerun relies on).
+func (s *Service) Complete(workerID, token, jobID string, res WorkerResult) error {
+	state := StateDone
+	switch {
+	case res.Canceled:
+		state = StateCanceled
+	case res.Error != "":
+		state = StateFailed
+	case res.Summary == nil:
+		return fmt.Errorf("service: complete for job %s carries no summary, error or cancel", jobID)
+	}
+	if err := s.sched.completeRemote(workerID, token, jobID, state, res.Error, res.Summary, time.Now()); err != nil {
+		return err
+	}
+	s.scores.Import(res.Scores)
+	s.features.Import(res.Features)
+	// The per-terminal checkpoint runs here, after the merge
+	// (completeRemote deliberately skips onTerminal): a checkpoint
+	// taken before the deltas land would systematically exclude this
+	// very job's docking labels — the main warmth a remote run
+	// contributes.
+	_ = s.Snapshot()
+	return nil
+}
+
+// Draining reports whether Shutdown has begun: a draining coordinator
+// answers health probes with 503 so load balancers stop routing to it.
+func (s *Service) Draining() bool { return s.sched.isDraining() }
+
 // Status returns the snapshot of one job.
 func (s *Service) Status(id string) (JobSnapshot, bool) {
 	j, ok := s.sched.get(id)
@@ -394,8 +512,25 @@ func (s *Service) Status(id string) (JobSnapshot, bool) {
 // Jobs lists all jobs in submission order.
 func (s *Service) Jobs() []JobSnapshot { return s.sched.list() }
 
-// Cancel requests cancellation of a job; false if the ID is unknown.
-func (s *Service) Cancel(id string) bool { return s.sched.cancelJob(id) }
+// JobQuery bounds and filters a Jobs listing.
+type JobQuery struct {
+	State JobState // only jobs in this state; "" = all
+	After string   // exclusive job-ID cursor (pagination); "" = from the start
+	Limit int      // max snapshots returned; <= 0 = unbounded
+}
+
+// JobsFiltered lists jobs in submission order under the query's
+// bounds; always returns a non-nil slice.
+func (s *Service) JobsFiltered(q JobQuery) []JobSnapshot {
+	return s.sched.listFiltered(jobQuery{state: q.State, after: q.After, limit: q.Limit})
+}
+
+// Cancel requests cancellation of a job; false if the ID is unknown
+// or the service is already shut down.
+func (s *Service) Cancel(id string) bool {
+	_, err := s.sched.cancelJob(id)
+	return err == nil
+}
 
 // Result returns the summary of a completed job. The error distinguishes
 // unknown IDs from jobs that are not (or never will be) done.
