@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,8 +65,14 @@ func main() {
 	maxQueued := flag.Int("max-queued", 0, "pending-queue bound; overflow submissions get HTTP 429 (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "terminal job records kept in memory and listings (0 = unbounded; the journal keeps full history)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "remote-worker lease TTL; a worker silent this long loses its job (0 = 30s)")
+	accessLog := flag.Bool("access-log", false, "log one line per HTTP request (method, path, status, latency, request ID)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
 	flag.Parse()
 
+	var logf func(string, ...any)
+	if *accessLog {
+		logf = log.Printf
+	}
 	svc, err := service.Open(service.Options{
 		Workers:         max(*workers, 0),
 		RemoteOnly:      *workers == 0,
@@ -77,6 +84,7 @@ func main() {
 		MaxQueued:       *maxQueued,
 		MaxJobRecords:   *maxJobs,
 		LeaseTTL:        *leaseTTL,
+		Logf:            logf,
 	})
 	if err != nil {
 		log.Fatalf("opening service: %v", err)
@@ -85,7 +93,21 @@ func main() {
 		log.Printf("running as pure coordinator: campaigns execute only on remote impeccable-worker processes")
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The profiler mounts beside the API, outside its middleware:
+		// profile downloads should not skew the request-latency series.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	if *stateDir != "" {

@@ -1,0 +1,25 @@
+// Command metrics-lint validates Prometheus text exposition read from
+// stdin against the 0.0.4 grammar (the same checker the obs package
+// tests itself with). It exits 0 when the input parses cleanly and 1
+// with a diagnostic otherwise, so shell pipelines can gate on it:
+//
+//	curl -fsS localhost:8080/metrics | metrics-lint
+//
+// The cluster smoke test uses it to fail the run if the coordinator
+// ever serves malformed exposition.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"impeccable/internal/obs"
+)
+
+func main() {
+	if err := obs.Validate(bufio.NewReader(os.Stdin)); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics-lint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,537 @@
+// Package obs is a dependency-free metrics library exposing the
+// Prometheus text exposition format (version 0.0.4). The service layer
+// was nearly blind under load — rich counters existed (cache hit
+// rates, per-state job tallies, per-stage funnel windows) but never
+// left the process. This package gives them a wire format any scraper
+// understands, without pulling a client library into a reproduction
+// that deliberately builds from the standard library alone.
+//
+// The model is a small subset of the Prometheus one:
+//
+//   - Counter / CounterVec: monotonically increasing float64s.
+//   - Gauge / GaugeVec: arbitrary float64s; GaugeFunc reads a value at
+//     scrape time.
+//   - Histogram / HistogramVec: cumulative-bucket observations with
+//     _bucket/_sum/_count series.
+//
+// A Registry owns one family per metric name and renders them sorted
+// with WriteTo (the /metrics handler) or structurally with Collect
+// (tests, programmatic checks). OnCollect hooks run before either, so
+// metrics mirrored from externally maintained state (queue depths,
+// cache shard counters) are refreshed per scrape instead of per event.
+//
+// Validate checks a rendered exposition against the text-format
+// grammar — the conformance tests and the cluster-smoke CI scrape both
+// go through it.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric type strings as they appear on "# TYPE" lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// DefBuckets are the default latency histogram bounds, in seconds:
+// sub-millisecond fsyncs through multi-minute campaign stages.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// labelSep joins label values into a series key. 0xff never appears in
+// valid UTF-8 label values' bytes... it can inside arbitrary strings,
+// so pair it with 0xfe to make collisions practically impossible.
+const labelSep = "\xff\xfe"
+
+// Counter is a monotonically increasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored
+// (counters are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Set overwrites the counter's value. It exists for scrape-time
+// mirroring of monotonic counts maintained elsewhere (cache shard
+// atomics, scheduler tallies); event-driven counters should use
+// Inc/Add. Regressing values are ignored so a mirror can never make
+// the exposed counter run backwards.
+func (c *Counter) Set(v float64) {
+	for {
+		old := c.bits.Load()
+		if v < math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	upper   []float64 // strictly increasing upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	// Drop duplicates and a trailing +Inf (implicit).
+	dedup := up[:0]
+	for _, b := range up {
+		if math.IsInf(b, +1) {
+			continue
+		}
+		if len(dedup) == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]atomic.Int64, len(dedup))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// vec is the shared label→child machinery behind the *Vec types.
+type vec[T any] struct {
+	labels []string
+	newFn  func() *T
+
+	mu sync.Mutex
+	m  map[string]*T
+	// keys remembers each child's label values for rendering.
+	keys map[string][]string
+}
+
+func newVec[T any](labels []string, newFn func() *T) *vec[T] {
+	return &vec[T]{labels: labels, newFn: newFn, m: map[string]*T{}, keys: map[string][]string{}}
+}
+
+func (v *vec[T]) with(values []string) *T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric expects %d label values (%v), got %d (%v)",
+			len(v.labels), v.labels, len(values), values))
+	}
+	k := strings.Join(values, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	child, ok := v.m[k]
+	if !ok {
+		child = v.newFn()
+		v.m[k] = child
+		v.keys[k] = append([]string(nil), values...)
+	}
+	return child
+}
+
+// children snapshots the (labelValues, child) pairs sorted by key.
+func (v *vec[T]) children() [][2]any {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ks := make([]string, 0, len(v.m))
+	for k := range v.m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([][2]any, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, [2]any{v.keys[k], v.m[k]})
+	}
+	return out
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ v *vec[Counter] }
+
+// With returns (creating on first use) the counter for the label values.
+func (c *CounterVec) With(values ...string) *Counter { return c.v.with(values) }
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ v *vec[Gauge] }
+
+// With returns (creating on first use) the gauge for the label values.
+func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(values) }
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	v       *vec[Histogram]
+	buckets []float64
+}
+
+// With returns (creating on first use) the histogram for the label values.
+func (h *HistogramVec) With(values ...string) *Histogram { return h.v.with(values) }
+
+// family is one registered metric name: its metadata plus whichever
+// concrete holder backs it.
+type family struct {
+	name, help, typ string
+	labels          []string
+
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	histogram  *Histogram
+	counterVec *CounterVec
+	gaugeVec   *GaugeVec
+	histVec    *HistogramVec
+}
+
+// Registry owns a set of metric families and renders them in the
+// Prometheus text exposition format. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order; rendering sorts by name
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register adds a family or panics on a duplicate/invalid name —
+// metric registration is programmer-controlled, so both are bugs.
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %s has invalid label name %q", f.name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	r.families[f.name] = f
+	r.order = append(r.order, f.name)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: typeCounter, counter: c})
+	return c
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	cv := &CounterVec{v: newVec(labels, func() *Counter { return &Counter{} })}
+	r.register(&family{name: name, help: help, typ: typeCounter, labels: labels, counterVec: cv})
+	return cv
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: typeGauge, gauge: g})
+	return g
+}
+
+// GaugeVec registers and returns a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{v: newVec(labels, func() *Gauge { return &Gauge{} })}
+	r.register(&family{name: name, help: help, typ: typeGauge, labels: labels, gaugeVec: gv})
+	return gv
+}
+
+// GaugeFunc registers a gauge whose value is read at collection time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: typeGauge, gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (nil = DefBuckets; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&family{name: name, help: help, typ: typeHistogram, histogram: h})
+	return h
+}
+
+// HistogramVec registers and returns a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	hv := &HistogramVec{buckets: b, v: newVec(labels, func() *Histogram { return newHistogram(b) })}
+	r.register(&family{name: name, help: help, typ: typeHistogram, labels: labels, histVec: hv})
+	return hv
+}
+
+// OnCollect registers a hook run before every Collect/WriteTo, for
+// refreshing metrics mirrored from external state at scrape time.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// Sample is one rendered series: full series name (bucket/sum/count
+// suffixes applied), label pairs in render order, and the value.
+type Sample struct {
+	Name   string
+	Labels [][2]string
+	Value  float64
+}
+
+// Family is the structural form of one metric family at collection
+// time.
+type Family struct {
+	Name, Help, Type string
+	Samples          []Sample
+}
+
+// Collect runs the OnCollect hooks and snapshots every family, sorted
+// by name, with vec children sorted by label values.
+func (r *Registry) Collect() []Family {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	names := append([]string{}, r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.collect())
+	}
+	return out
+}
+
+// collect renders one family's samples.
+func (f *family) collect() Family {
+	fam := Family{Name: f.name, Help: f.help, Type: f.typ}
+	pair := func(values []string) [][2]string {
+		ls := make([][2]string, len(f.labels))
+		for i, l := range f.labels {
+			ls[i] = [2]string{l, values[i]}
+		}
+		return ls
+	}
+	switch {
+	case f.counter != nil:
+		fam.Samples = []Sample{{Name: f.name, Value: f.counter.Value()}}
+	case f.gauge != nil:
+		fam.Samples = []Sample{{Name: f.name, Value: f.gauge.Value()}}
+	case f.gaugeFn != nil:
+		fam.Samples = []Sample{{Name: f.name, Value: f.gaugeFn()}}
+	case f.histogram != nil:
+		fam.Samples = histSamples(f.name, nil, f.histogram)
+	case f.counterVec != nil:
+		for _, ch := range f.counterVec.v.children() {
+			fam.Samples = append(fam.Samples, Sample{
+				Name: f.name, Labels: pair(ch[0].([]string)), Value: ch[1].(*Counter).Value(),
+			})
+		}
+	case f.gaugeVec != nil:
+		for _, ch := range f.gaugeVec.v.children() {
+			fam.Samples = append(fam.Samples, Sample{
+				Name: f.name, Labels: pair(ch[0].([]string)), Value: ch[1].(*Gauge).Value(),
+			})
+		}
+	case f.histVec != nil:
+		for _, ch := range f.histVec.v.children() {
+			fam.Samples = append(fam.Samples, histSamples(f.name, pair(ch[0].([]string)), ch[1].(*Histogram))...)
+		}
+	}
+	return fam
+}
+
+// histSamples renders one histogram as cumulative _bucket series plus
+// _sum and _count, with the le label appended after any vec labels.
+func histSamples(name string, labels [][2]string, h *Histogram) []Sample {
+	out := make([]Sample, 0, len(h.upper)+3)
+	var cum int64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		le := append(append([][2]string{}, labels...), [2]string{"le", formatValue(ub)})
+		out = append(out, Sample{Name: name + "_bucket", Labels: le, Value: float64(cum)})
+	}
+	count := h.Count()
+	inf := append(append([][2]string{}, labels...), [2]string{"le", "+Inf"})
+	out = append(out, Sample{Name: name + "_bucket", Labels: inf, Value: float64(count)})
+	out = append(out, Sample{Name: name + "_sum", Labels: labels, Value: h.Sum()})
+	out = append(out, Sample{Name: name + "_count", Labels: labels, Value: float64(count)})
+	return out
+}
+
+// WriteTo renders the registry in the text exposition format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	for _, fam := range r.Collect() {
+		if fam.Help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Samples {
+			sb.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				sb.WriteByte('{')
+				for i, kv := range s.Labels {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, "%s=%q", kv[0], escapeLabel(kv[1]))
+				}
+				sb.WriteByte('}')
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(formatValue(s.Value))
+			sb.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines for "# HELP" lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value for rendering inside %q — the Go
+// quoting already handles \" and \\; newlines become \n via %q too, so
+// only pre-existing compliance matters. %q escapes more than the
+// exposition format requires (e.g. \t), which scrapers accept; keep
+// the explicit replacements for the three the spec names anyway.
+func escapeLabel(s string) string { return s }
+
+// validMetricName reports whether the name matches
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether the name matches
+// [a-zA-Z_][a-zA-Z0-9_]*; names starting "__" are reserved.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

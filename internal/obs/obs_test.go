@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// collect renders the registry to text once.
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// mustValidate asserts the exposition parses.
+func mustValidate(t *testing.T, text string) {
+	t.Helper()
+	if err := Validate(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition failed grammar check: %v\n%s", err, text)
+	}
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs ever submitted.")
+	g := r.Gauge("queue_depth", "Jobs waiting for a worker.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	g.Set(7)
+	g.Dec()
+
+	out := render(t, r)
+	mustValidate(t, out)
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs ever submitted.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# TYPE queue_depth gauge",
+		"queue_depth 6",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterSetNeverRegresses(t *testing.T) {
+	var c Counter
+	c.Set(10)
+	c.Set(4) // mirrored counts must not run backwards
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter regressed to %v", got)
+	}
+	c.Set(12)
+	if got := c.Value(); got != 12 {
+		t.Fatalf("counter = %v, want 12", got)
+	}
+}
+
+func TestVecLabelsRenderedAndSorted(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http_requests_total", "Requests by route and code.", "route", "code")
+	cv.With("/metrics", "200").Add(2)
+	cv.With("/healthz", "503").Inc()
+	cv.With("/healthz", "200").Add(5)
+
+	out := render(t, r)
+	mustValidate(t, out)
+	for _, want := range []string{
+		`http_requests_total{route="/healthz",code="200"} 5`,
+		`http_requests_total{route="/healthz",code="503"} 1`,
+		`http_requests_total{route="/metrics",code="200"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children sorted by label values: /healthz lines precede /metrics.
+	if strings.Index(out, `route="/healthz",code="200"`) > strings.Index(out, `route="/metrics"`) {
+		t.Errorf("vec children not sorted:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("weird_labels", "Escaping stress.", "v")
+	gv.With(`quote " backslash \ newline` + "\n").Set(1)
+
+	out := render(t, r)
+	mustValidate(t, out)
+	// Validate round-trips the escapes; also assert the raw escapes are
+	// present in the rendered form.
+	if !strings.Contains(out, `\"`) || !strings.Contains(out, `\\`) || !strings.Contains(out, `\n`) {
+		t.Errorf("label escapes missing:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.07, 0.3, 0.9, 4} {
+		h.Observe(v)
+	}
+
+	out := render(t, r)
+	mustValidate(t, out)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="0.5"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Sum() < 5.31 || h.Sum() > 5.33 {
+		t.Errorf("sum = %v, want 5.32", h.Sum())
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("route_seconds", "Latency by route.", []float64{1}, "route")
+	hv.With("/a").Observe(0.5)
+	hv.With("/b").Observe(2)
+
+	out := render(t, r)
+	mustValidate(t, out)
+	for _, want := range []string{
+		`route_seconds_bucket{route="/a",le="1"} 1`,
+		`route_seconds_bucket{route="/a",le="+Inf"} 1`,
+		`route_seconds_bucket{route="/b",le="1"} 0`,
+		`route_seconds_bucket{route="/b",le="+Inf"} 1`,
+		`route_seconds_count{route="/a"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncAndOnCollect(t *testing.T) {
+	r := NewRegistry()
+	depth := 0
+	r.GaugeFunc("live_depth", "Read at scrape time.", func() float64 { return float64(depth) })
+	mirrored := r.Gauge("mirrored", "Refreshed by hook.")
+	r.OnCollect(func() { mirrored.Set(float64(depth * 2)) })
+
+	depth = 21
+	out := render(t, r)
+	mustValidate(t, out)
+	if !strings.Contains(out, "live_depth 21\n") {
+		t.Errorf("GaugeFunc not read at scrape:\n%s", out)
+	}
+	if !strings.Contains(out, "mirrored 42\n") {
+		t.Errorf("OnCollect hook not run before render:\n%s", out)
+	}
+}
+
+func TestFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "last")
+	r.Counter("aaa_total", "first")
+	out := render(t, r)
+	mustValidate(t, out)
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, name := range []string{"", "0starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", name)
+				}
+			}()
+			NewRegistry().Counter(name, "")
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reserved label name did not panic")
+		}
+	}()
+	NewRegistry().CounterVec("ok_total", "", "__reserved")
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	cv.With("only-one")
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("special", "")
+	g.Set(math.Inf(1))
+	out := render(t, r)
+	mustValidate(t, out)
+	if !strings.Contains(out, "special +Inf\n") {
+		t.Errorf("+Inf not rendered:\n%s", out)
+	}
+}
+
+func TestConcurrentUseUnderRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "")
+	h := r.Histogram("race_seconds", "", nil)
+	cv := r.CounterVec("race_vec_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				c.Inc()
+				h.Observe(float64(n) / 100)
+				cv.With(string(rune('a' + i%4))).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_, _ = r.WriteTo(&sb)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %v, want 8000", got)
+	}
+	mustValidate(t, render(t, r))
+}
+
+// TestValidateRejectsMalformed exercises the grammar checker itself:
+// it must reject the standard ways an exposition goes wrong, since the
+// cluster-smoke CI check depends on it to catch regressions.
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := map[string]string{
+		"bad metric name":   "9metric 1\n",
+		"bad value":         "metric abc\n",
+		"unterminated":      "metric{a=\"x} 1\n",
+		"missing value":     "metric{a=\"x\"}\n",
+		"bad label name":    "metric{9a=\"x\"} 1\n",
+		"double TYPE":       "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after sample": "m 1\n# TYPE m counter\n",
+		"unknown type":      "# TYPE m widget\nm 1\n",
+		"duplicate series":  "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"interleaved":       "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{x=\"2\"} 1\n",
+		"histogram no +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n" +
+			"h_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram count mismatch": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+	}
+	for name, text := range bad {
+		if err := Validate(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Validate accepted\n%s", name, text)
+		}
+	}
+	good := "# HELP ok_total fine\n# TYPE ok_total counter\nok_total 3\n" +
+		"# TYPE g gauge\ng{l=\"x\"} -1.5\ng{l=\"y\"} +Inf\n"
+	if err := Validate(strings.NewReader(good)); err != nil {
+		t.Errorf("Validate rejected well-formed exposition: %v", err)
+	}
+}

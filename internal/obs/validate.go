@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Validate checks a Prometheus text exposition (version 0.0.4) against
+// the format's grammar and the semantic rules scrapers rely on:
+//
+//   - every line is blank, a comment, "# HELP <name> <text>",
+//     "# TYPE <name> <type>", or a well-formed sample;
+//   - metric and label names match their character classes;
+//   - label values are correctly quoted and escaped;
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed);
+//   - at most one TYPE per metric, appearing before its samples;
+//   - samples of one family are contiguous (no interleaving);
+//   - no duplicate series (same name and label set twice);
+//   - histograms carry a +Inf bucket whose value equals _count, with
+//     cumulative (non-decreasing) bucket counts.
+//
+// The first violation is returned with its line number; nil means the
+// exposition parses.
+func Validate(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	typed := map[string]string{} // family → type
+	sampled := map[string]bool{} // family has samples already
+	seen := map[string]bool{}    // series key → present
+	closed := map[string]bool{}  // family block ended
+	hists := map[string]*histCheck{}
+	current := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			name, typ, isType, isHelp, err := parseComment(text)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			if !isType && !isHelp {
+				continue // free-form comment
+			}
+			if name != current {
+				if closed[name] {
+					return fmt.Errorf("line %d: family %s reappears after other families", line, name)
+				}
+				if current != "" {
+					closed[current] = true
+				}
+				current = name
+			}
+			if isType {
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: second TYPE line for %s", line, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		fam := familyOf(s.Name, typed)
+		if fam != current {
+			if closed[fam] {
+				return fmt.Errorf("line %d: samples of %s interleave with other families", line, fam)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		sampled[fam] = true
+		key := seriesKey(s)
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", line, key)
+		}
+		seen[key] = true
+		if typed[fam] == typeHistogram {
+			h := hists[fam]
+			if h == nil {
+				h = &histCheck{buckets: map[string][]bucket{}, counts: map[string]float64{}}
+				hists[fam] = h
+			}
+			if err := h.add(fam, s); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, h := range hists {
+		if err := h.check(fam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseComment parses a "#" line, distinguishing HELP/TYPE metadata
+// from free-form comments.
+func parseComment(text string) (name, typ string, isType, isHelp bool, err error) {
+	rest := strings.TrimPrefix(text, "#")
+	rest = strings.TrimLeft(rest, " ")
+	switch {
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return "", "", false, false, fmt.Errorf("malformed TYPE line %q", text)
+		}
+		name, typ = fields[1], fields[2]
+		if !validMetricName(name) {
+			return "", "", false, false, fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", false, false, fmt.Errorf("unknown metric type %q", typ)
+		}
+		return name, typ, true, false, nil
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(strings.TrimPrefix(rest, "HELP "), " ", 2)
+		name = strings.TrimSpace(fields[0])
+		if !validMetricName(name) {
+			return "", "", false, false, fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		return name, "", false, true, nil
+	default:
+		return "", "", false, false, nil
+	}
+}
+
+// sample is one parsed series line.
+type sample struct {
+	Name   string
+	Labels [][2]string
+	Value  float64
+}
+
+// parseSample parses `name{l="v",...} value [timestamp]`.
+func parseSample(text string) (sample, error) {
+	var s sample
+	i := 0
+	for i < len(text) && isNameChar(text[i], i == 0) {
+		i++
+	}
+	s.Name = text[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name at %q", text)
+	}
+	if i < len(text) && text[i] == '{' {
+		i++
+		for {
+			for i < len(text) && text[i] == ' ' {
+				i++
+			}
+			if i < len(text) && text[i] == '}' {
+				i++
+				break
+			}
+			start := i
+			for i < len(text) && isLabelChar(text[i], i == start) {
+				i++
+			}
+			lname := text[start:i]
+			if !validLabelName(lname) {
+				return s, fmt.Errorf("invalid label name %q in %q", lname, text)
+			}
+			if i >= len(text) || text[i] != '=' {
+				return s, fmt.Errorf("expected '=' after label %q in %q", lname, text)
+			}
+			i++
+			val, rest, err := parseQuoted(text[i:])
+			if err != nil {
+				return s, fmt.Errorf("label %s in %q: %w", lname, text, err)
+			}
+			i = len(text) - len(rest)
+			s.Labels = append(s.Labels, [2]string{lname, val})
+			if i < len(text) && text[i] == ',' {
+				i++
+				continue
+			}
+			if i < len(text) && text[i] == '}' {
+				i++
+				break
+			}
+			return s, fmt.Errorf("expected ',' or '}' in label set of %q", text)
+		}
+	}
+	rest := strings.TrimLeft(text[i:], " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value (and optional timestamp) in %q", text)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], text)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q in %q", fields[1], text)
+		}
+	}
+	return s, nil
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string from
+// the front of s, returning the decoded value and the remainder.
+func parseQuoted(s string) (val, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", s, fmt.Errorf("expected quoted string")
+	}
+	var sb strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", s, fmt.Errorf("dangling backslash")
+			}
+			switch s[i+1] {
+			case '\\', '"':
+				sb.WriteByte(s[i+1])
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				// Go's %q may emit \xNN or \uNNNN; accept the escape
+				// verbatim rather than rejecting a decodable line.
+				sb.WriteByte(s[i+1])
+			}
+			i += 2
+		case '"':
+			return sb.String(), s[i+1:], nil
+		default:
+			sb.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", s, fmt.Errorf("unterminated quoted string")
+}
+
+// parseFloat accepts exposition float syntax.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(!first && c >= '0' && c <= '9')
+}
+
+func isLabelChar(c byte, first bool) bool {
+	return c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(!first && c >= '0' && c <= '9')
+}
+
+// familyOf strips histogram sample suffixes so _bucket/_sum/_count
+// lines group under their TYPE'd family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == typeHistogram || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// seriesKey renders a canonical identity for duplicate detection:
+// name plus the sorted label set.
+func seriesKey(s sample) string {
+	ls := append([][2]string{}, s.Labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i][0] < ls[j][0] })
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	for _, kv := range ls {
+		fmt.Fprintf(&sb, "|%s=%s", kv[0], kv[1])
+	}
+	return sb.String()
+}
+
+// bucket is one _bucket sample of a histogram series.
+type bucket struct {
+	le  float64
+	val float64
+}
+
+// histCheck accumulates one histogram family's series for the
+// cumulative-bucket and count-consistency checks, keyed by the
+// non-le label set.
+type histCheck struct {
+	buckets map[string][]bucket
+	counts  map[string]float64
+}
+
+// add files one sample of a histogram family.
+func (h *histCheck) add(fam string, s sample) error {
+	var rest [][2]string
+	le := ""
+	for _, kv := range s.Labels {
+		if kv[0] == "le" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	key := seriesKey(sample{Name: fam, Labels: rest})
+	switch s.Name {
+	case fam + "_bucket":
+		if le == "" {
+			return fmt.Errorf("histogram %s bucket without le label", fam)
+		}
+		v, err := parseFloat(le)
+		if err != nil {
+			return fmt.Errorf("histogram %s has unparseable le %q", fam, le)
+		}
+		h.buckets[key] = append(h.buckets[key], bucket{le: v, val: s.Value})
+	case fam + "_count":
+		h.counts[key] = s.Value
+	}
+	return nil
+}
+
+// check verifies cumulative buckets, the +Inf bucket, and its
+// agreement with _count for every series of the family.
+func (h *histCheck) check(fam string) error {
+	for key, bs := range h.buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := math.Inf(-1)
+		prev := -1.0
+		for _, b := range bs {
+			if b.le == last {
+				return fmt.Errorf("histogram %s (%s): duplicate le %v", fam, key, b.le)
+			}
+			last = b.le
+			if b.val < prev {
+				return fmt.Errorf("histogram %s (%s): bucket counts not cumulative", fam, key)
+			}
+			prev = b.val
+		}
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, +1) {
+			return fmt.Errorf("histogram %s (%s): missing +Inf bucket", fam, key)
+		}
+		if cnt, ok := h.counts[key]; ok && cnt != bs[len(bs)-1].val {
+			return fmt.Errorf("histogram %s (%s): _count %v != +Inf bucket %v",
+				fam, key, cnt, bs[len(bs)-1].val)
+		}
+	}
+	return nil
+}

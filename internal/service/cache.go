@@ -25,10 +25,17 @@ type scoreKey struct {
 	fp     chem.Fingerprint
 }
 
-// scoreShard is one lock-striped segment of the score cache.
+// scoreShard is one lock-striped segment of the score cache. Hit,
+// miss and eviction counters live on the shard so /metrics can expose
+// per-shard series (skewed traffic shows up as one hot shard) and so
+// counting never contends on a cache-global cell.
 type scoreShard struct {
 	mu sync.RWMutex
 	m  map[scoreKey]dock.Result
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
 }
 
 // ScoreCache is a sharded, concurrency-safe memoizing cache of docking
@@ -44,10 +51,7 @@ type ScoreCache struct {
 	// is cheap and adequate for a dedup cache.
 	maxPerShard int
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	puts   atomic.Int64
-	evicts atomic.Int64
+	puts atomic.Int64
 }
 
 // NewScoreCache builds a cache with the given shard count (rounded up to
@@ -93,13 +97,13 @@ func (c *ScoreCache) get(target string, m *chem.Molecule) (dock.Result, bool) {
 	r, ok := s.m[k]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		s.hits.Add(1)
 		// Callers may hold the genome slice; hand out a private copy so
 		// no two tenants share backing memory.
 		r.Genome = append([]float64(nil), r.Genome...)
 		return r, true
 	}
-	c.misses.Add(1)
+	s.misses.Add(1)
 	return dock.Result{}, false
 }
 
@@ -121,7 +125,7 @@ func (c *ScoreCache) store(k scoreKey, r dock.Result) {
 	if _, exists := s.m[k]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
 		for victim := range s.m {
 			delete(s.m, victim)
-			c.evicts.Add(1)
+			s.evicts.Add(1)
 			break
 		}
 	}
@@ -190,15 +194,41 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"` // hits / (hits+misses); 0 when no lookups
 }
 
-// Stats snapshots the cache counters.
+// ShardStats is one shard's point-in-time counters, exposed per shard
+// on /metrics so load imbalance across the stripes is visible.
+type ShardStats struct {
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// ShardStats snapshots every shard's counters, in shard order.
+func (c *ScoreCache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		out[i].Entries = len(s.m)
+		s.mu.RUnlock()
+		out[i].Hits = s.hits.Load()
+		out[i].Misses = s.misses.Load()
+		out[i].Evictions = s.evicts.Load()
+	}
+	return out
+}
+
+// Stats snapshots the cache counters, summed across shards.
 func (c *ScoreCache) Stats() CacheStats {
 	st := CacheStats{
-		Shards:    len(c.shards),
-		Entries:   c.Len(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Puts:      c.puts.Load(),
-		Evictions: c.evicts.Load(),
+		Shards: len(c.shards),
+		Puts:   c.puts.Load(),
+	}
+	for _, ss := range c.ShardStats() {
+		st.Entries += ss.Entries
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
 	}
 	if lookups := st.Hits + st.Misses; lookups > 0 {
 		st.HitRate = float64(st.Hits) / float64(lookups)

@@ -1,0 +1,250 @@
+// Live progress streaming: a per-job event bus inside the scheduler
+// feeding GET /api/v1/campaigns/{id}/events as Server-Sent Events.
+// Every state transition, stage change, remote heartbeat and terminal
+// summary is published as a sequenced JobEvent; subscribers replay
+// from an in-memory ring (Last-Event-ID semantics) and then follow
+// live, so a dashboard holds one idle connection instead of polling
+// /status — the difference between a million dashboards and a million
+// QPS.
+//
+// The bus never blocks the scheduler: publishers append to the ring
+// and poke a buffered notify channel; subscribers pull events by
+// cursor at their own pace. A subscriber that falls behind a pruned
+// ring skips forward (it still sees every state the job is in now and
+// the terminal summary — exactly what a progress consumer needs).
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// JobEvent is one entry in a job's event stream.
+type JobEvent struct {
+	// Seq is the per-job sequence number, starting at 1; it is the SSE
+	// event ID, so clients resume with Last-Event-ID after a drop.
+	Seq int64  `json:"seq"`
+	Job string `json:"job"`
+	// Type is "state" for lifecycle transitions (terminal ones carry
+	// Error or Summary) and "progress" for stage/fraction updates.
+	Type     string    `json:"type"`
+	State    JobState  `json:"state"`
+	Stage    string    `json:"stage,omitempty"`
+	Progress float64   `json:"progress,omitempty"`
+	Worker   string    `json:"worker,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Time     time.Time `json:"time"`
+	// Summary rides on the terminal "done" event so stream followers
+	// never need a second request for the result.
+	Summary *ResultSummary `json:"summary,omitempty"`
+}
+
+// Event types.
+const (
+	evTypeState    = "state"
+	evTypeProgress = "progress"
+)
+
+// Terminal reports whether the event ends the stream.
+func (e JobEvent) Terminal() bool {
+	return e.Type == evTypeState && e.State.Terminal()
+}
+
+// maxRingEvents bounds one job's replay ring. State transitions are
+// O(10) per job and progress is throttled, so a healthy job stays far
+// below this; a pathological publisher degrades replay, not memory.
+const maxRingEvents = 512
+
+// eventSub is one subscriber's cursor onto a job's ring plus the
+// channel the bus pokes when news arrives.
+type eventSub struct {
+	cursor int64 // last seq delivered to this subscriber
+	notify chan struct{}
+}
+
+// jobStream is the bus's per-job state: the bounded event ring and the
+// live subscribers.
+type jobStream struct {
+	events   []JobEvent // ring content; events[0].Seq == firstSeq
+	firstSeq int64      // seq of events[0]; advances when the ring prunes
+	nextSeq  int64      // seq the next published event gets
+	subs     map[*eventSub]struct{}
+	dropped  bool // record pruned: stream is over for subscribers
+}
+
+// eventBus fans job lifecycle events out to SSE subscribers.
+type eventBus struct {
+	mu     sync.Mutex
+	jobs   map[string]*jobStream
+	closed bool
+	met    *metrics
+}
+
+func newEventBus(met *metrics) *eventBus {
+	return &eventBus{jobs: map[string]*jobStream{}, met: met}
+}
+
+// stream returns (creating if needed) the per-job state; callers hold
+// b.mu.
+func (b *eventBus) stream(job string) *jobStream {
+	st := b.jobs[job]
+	if st == nil {
+		st = &jobStream{firstSeq: 1, nextSeq: 1, subs: map[*eventSub]struct{}{}}
+		b.jobs[job] = st
+	}
+	return st
+}
+
+// publish appends one event to the job's ring and wakes subscribers.
+// Safe to call while holding a job's mutex or the scheduler's — the
+// bus lock nests innermost and pokes are non-blocking.
+func (b *eventBus) publish(ev JobEvent) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	st := b.stream(ev.Job)
+	ev.Seq = st.nextSeq
+	st.nextSeq++
+	st.events = append(st.events, ev)
+	if len(st.events) > maxRingEvents {
+		over := len(st.events) - maxRingEvents
+		st.events = append(st.events[:0], st.events[over:]...)
+		st.firstSeq += int64(over)
+	}
+	subs := make([]*eventSub, 0, len(st.subs))
+	for sub := range st.subs {
+		subs = append(subs, sub)
+	}
+	b.mu.Unlock()
+	if b.met != nil {
+		b.met.eventsPublished.Inc()
+	}
+	for _, sub := range subs {
+		select {
+		case sub.notify <- struct{}{}:
+		default: // already poked; subscriber will catch up
+		}
+	}
+}
+
+// subscribe attaches a cursor after seq `after` (0 = from the stream's
+// beginning) to the job's stream. The caller must unsubscribe.
+func (b *eventBus) subscribe(job string, after int64) *eventSub {
+	sub := &eventSub{cursor: after, notify: make(chan struct{}, 1)}
+	b.mu.Lock()
+	st := b.stream(job)
+	st.subs[sub] = struct{}{}
+	b.mu.Unlock()
+	if b.met != nil {
+		b.met.sseSubscribers.Inc()
+	}
+	return sub
+}
+
+// unsubscribe detaches the cursor; idempotent.
+func (b *eventBus) unsubscribe(job string, sub *eventSub) {
+	b.mu.Lock()
+	st := b.jobs[job]
+	var present bool
+	if st != nil {
+		_, present = st.subs[sub]
+		delete(st.subs, sub)
+	}
+	b.mu.Unlock()
+	if present && b.met != nil {
+		b.met.sseSubscribers.Dec()
+	}
+}
+
+// next returns the events after the subscriber's cursor (advancing
+// it), plus whether the stream has ended for this subscriber: the bus
+// shut down, the record was pruned, or a terminal event is included in
+// (or precedes) the returned batch. A cursor behind a pruned ring
+// skips forward to the oldest retained event.
+func (b *eventBus) next(job string, sub *eventSub) (evs []JobEvent, over bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.jobs[job]
+	if st == nil {
+		return nil, true
+	}
+	if sub.cursor < st.firstSeq-1 {
+		sub.cursor = st.firstSeq - 1
+	}
+	from := int(sub.cursor - st.firstSeq + 1)
+	if from < len(st.events) {
+		evs = append(evs, st.events[from:]...)
+		sub.cursor = st.nextSeq - 1
+	}
+	over = b.closed || st.dropped
+	for _, ev := range evs {
+		if ev.Terminal() {
+			over = true
+		}
+	}
+	// A subscriber arriving after the terminal event was consumed from
+	// its cursor position still has to stop: check the retained tail.
+	if !over && len(evs) == 0 && len(st.events) > 0 &&
+		st.events[len(st.events)-1].Terminal() && sub.cursor >= st.nextSeq-1 {
+		over = true
+	}
+	return evs, over
+}
+
+// drop removes pruned jobs' streams and ends their subscribers.
+func (b *eventBus) drop(jobs []string) {
+	b.mu.Lock()
+	var wake []*eventSub
+	for _, id := range jobs {
+		st := b.jobs[id]
+		if st == nil {
+			continue
+		}
+		st.dropped = true
+		for sub := range st.subs {
+			wake = append(wake, sub)
+		}
+		if len(st.subs) == 0 {
+			delete(b.jobs, id)
+		}
+	}
+	b.mu.Unlock()
+	for _, sub := range wake {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// shutdown ends every stream so SSE handlers return and the HTTP
+// server's graceful drain is not held open by idle subscribers.
+func (b *eventBus) shutdown() {
+	b.mu.Lock()
+	b.closed = true
+	var wake []*eventSub
+	for _, st := range b.jobs {
+		for sub := range st.subs {
+			wake = append(wake, sub)
+		}
+	}
+	b.mu.Unlock()
+	for _, sub := range wake {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscriberCount reports the live subscriptions on one job (tests).
+func (b *eventBus) subscriberCount(job string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.jobs[job]; st != nil {
+		return len(st.subs)
+	}
+	return 0
+}

@@ -17,15 +17,17 @@ type FeatureCache struct {
 	mask   uint64
 
 	maxPerShard int
+}
+
+// featShard counters mirror scoreShard's: per-shard so the exposition
+// can show stripe balance and counting stays contention-free.
+type featShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]float64
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	evicts atomic.Int64
-}
-
-type featShard struct {
-	mu sync.RWMutex
-	m  map[uint64][]float64
 }
 
 // NewFeatureCache builds a feature cache with the given shard count
@@ -78,9 +80,9 @@ func (c *FeatureCache) Lookup(id uint64) ([]float64, bool) {
 	v, ok := s.m[id]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		s.hits.Add(1)
 	} else {
-		c.misses.Add(1)
+		s.misses.Add(1)
 	}
 	return v, ok
 }
@@ -97,7 +99,7 @@ func (c *FeatureCache) store(s *featShard, id uint64, v []float64) {
 	if _, exists := s.m[id]; !exists && c.maxPerShard > 0 && len(s.m) >= c.maxPerShard {
 		for victim := range s.m {
 			delete(s.m, victim)
-			c.evicts.Add(1)
+			s.evicts.Add(1)
 			break
 		}
 	}
@@ -137,19 +139,29 @@ func (c *FeatureCache) Import(entries []FeatureEntry) {
 	}
 }
 
-// Stats snapshots the feature-cache counters.
-func (c *FeatureCache) Stats() CacheStats {
-	st := CacheStats{
-		Shards:    len(c.shards),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evicts.Load(),
-	}
+// ShardStats snapshots every shard's counters, in shard order.
+func (c *FeatureCache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()
-		st.Entries += len(s.m)
+		out[i].Entries = len(s.m)
 		s.mu.RUnlock()
+		out[i].Hits = s.hits.Load()
+		out[i].Misses = s.misses.Load()
+		out[i].Evictions = s.evicts.Load()
+	}
+	return out
+}
+
+// Stats snapshots the feature-cache counters, summed across shards.
+func (c *FeatureCache) Stats() CacheStats {
+	st := CacheStats{Shards: len(c.shards)}
+	for _, ss := range c.ShardStats() {
+		st.Entries += ss.Entries
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
 	}
 	st.Puts = st.Misses // every miss computes and stores
 	if lookups := st.Hits + st.Misses; lookups > 0 {

@@ -16,14 +16,20 @@ import (
 //	GET    /api/v1/campaigns/{id}     one job's status
 //	DELETE /api/v1/campaigns/{id}     cancel a job
 //	GET    /api/v1/campaigns/{id}/result   completed job's summary
+//	GET    /api/v1/campaigns/{id}/events   live progress stream (SSE)
 //	GET    /api/v1/cache              score + feature cache stats
 //	GET    /healthz                   liveness + job counts (503 while draining)
+//	GET    /metrics                   Prometheus text exposition
 //
 // plus the remote-worker protocol (cmd/impeccable-worker):
 //
 //	POST   /api/v1/worker/lease       pull a job under a TTL lease (204 = no work)
 //	POST   /api/v1/worker/heartbeat   extend a lease, report stage/progress
 //	POST   /api/v1/worker/complete    post a result + cache deltas
+//
+// Every route passes through the observability middleware: request IDs
+// are accepted (or minted) and echoed as X-Request-Id, and per-route
+// latency, status codes and in-flight counts feed /metrics.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
@@ -31,12 +37,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /api/v1/worker/lease", s.handleWorkerLease)
 	mux.HandleFunc("POST /api/v1/worker/heartbeat", s.handleWorkerHeartbeat)
 	mux.HandleFunc("POST /api/v1/worker/complete", s.handleWorkerComplete)
-	return mux
+	return s.instrument(mux)
 }
 
 // writeJSON encodes v with the given status code.
@@ -63,7 +71,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxSubmitBody, strictFields, &req) {
 		return
 	}
-	id, err := s.Submit(req)
+	id, err := s.SubmitCtx(r.Context(), req)
 	if err != nil {
 		// A full pending queue is backpressure, not a bad request: 429
 		// tells well-behaved tenants to retry later, with the wait
@@ -123,7 +131,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// The snapshot comes back from the cancel itself (taken under the
 	// job's lock): re-reading through the record table here could race
 	// a concurrent completion's prune and misreport the outcome.
-	snap, err := s.sched.cancelJob(r.PathValue("id"))
+	snap, err := s.sched.cancelJobTraced(r.PathValue("id"), RequestIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrUnknownJob):
 		writeError(w, http.StatusNotFound, "unknown job")
@@ -154,6 +162,80 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// sseKeepalive is how often an idle event stream emits a comment line
+// so intermediaries (and the client) can tell the connection is alive.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents streams one job's lifecycle as Server-Sent Events:
+// every state transition, stage/progress update and the terminal
+// summary. Each event's SSE id is its per-job sequence number, so a
+// reconnecting client sends Last-Event-ID and replays only what it
+// missed (served from the in-memory ring). The stream closes itself
+// after the terminal event — including for already-finished jobs,
+// which get their replay and an immediate end-of-stream.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.sched.get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var after int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			after = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sub := s.sched.bus.subscribe(id, after)
+	defer s.sched.bus.unsubscribe(id, sub)
+	keep := time.NewTicker(sseKeepalive)
+	defer keep.Stop()
+	for {
+		evs, over := s.sched.bus.next(id, sub)
+		for _, ev := range evs {
+			if !writeSSE(w, ev) {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if over {
+			return
+		}
+		select {
+		case <-sub.notify:
+		case <-r.Context().Done():
+			return
+		case <-keep.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event in SSE framing; false means the client is
+// gone.
+func writeSSE(w http.ResponseWriter, ev JobEvent) bool {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err == nil
+}
+
 // cacheStatsBody is the /api/v1/cache response.
 type cacheStatsBody struct {
 	Scores   CacheStats `json:"scores"`
@@ -169,25 +251,35 @@ func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
 
 // healthBody is the /healthz response.
 type healthBody struct {
-	Status  string           `json:"status"`
-	Uptime  string           `json:"uptime"`
-	Jobs    map[JobState]int `json:"jobs"`
-	Targets []string         `json:"targets"`
+	Status        string           `json:"status"`
+	Uptime        string           `json:"uptime"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          map[JobState]int `json:"jobs"`
+	Targets       []string         `json:"targets"`
+	// RetryAfterSeconds is the same backpressure estimate served with
+	// 429 responses: backlog × recent mean job duration over execution
+	// slots. Probes can watch it climb before the queue actually fills.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// A draining coordinator must stop attracting traffic: load
 	// balancers route on the health probe, so "ok" during a drain keeps
-	// sending work to a server that rejects it.
+	// sending work to a server that rejects it. And like /metrics, a
+	// probe is a point-in-time read — never cacheable.
+	w.Header().Set("Cache-Control", "no-store")
 	status, code := "ok", http.StatusOK
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	up := s.Uptime()
 	writeJSON(w, code, healthBody{
-		Status:  status,
-		Uptime:  s.Uptime().Round(time.Millisecond).String(),
-		Jobs:    s.sched.counts(),
-		Targets: s.Targets(),
+		Status:            status,
+		Uptime:            up.Round(time.Millisecond).String(),
+		UptimeSeconds:     up.Seconds(),
+		Jobs:              s.sched.counts(),
+		Targets:           s.Targets(),
+		RetryAfterSeconds: s.sched.retryAfterSeconds(),
 	})
 }
 

@@ -75,12 +75,22 @@ type journalEvent struct {
 	// presents on heartbeat/complete. Journaled so a surviving worker
 	// can re-attach to its lease across a coordinator restart.
 	Token string `json:"token,omitempty"`
+	// RID is the X-Request-Id of the HTTP request that caused the event
+	// (submits and cancels), linking the durable record back to access
+	// logs and client traces.
+	RID string `json:"rid,omitempty"`
 }
 
 // journal is the append-only, per-event-fsynced job event log.
 type journal struct {
 	mu sync.Mutex
 	f  *os.File
+	// size tracks the segment's byte length for the exposition.
+	size int64
+	// onAppend, when set, observes each batch: event count, bytes
+	// written, and the fsync's duration. Called outside jl.mu's hot
+	// path concerns — it must be cheap and non-blocking.
+	onAppend func(events, bytes int, fsync time.Duration)
 }
 
 // syncDir fsyncs a directory so a freshly created or renamed entry in
@@ -105,7 +115,18 @@ func openJournal(dir string) (*journal, error) {
 	// Persist the directory entry too: an acked submit must survive
 	// power loss even when it was the journal's first event.
 	syncDir(dir)
-	return &journal{f: f}, nil
+	jl := &journal{f: f}
+	if st, err := f.Stat(); err == nil {
+		jl.size = st.Size()
+	}
+	return jl, nil
+}
+
+// sizeBytes reports the current segment length.
+func (jl *journal) sizeBytes() int64 {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.size
 }
 
 // append writes one event as a JSON line and fsyncs it, so an event
@@ -141,8 +162,13 @@ func (jl *journal) appendBatch(events []journalEvent) error {
 	if _, err := jl.f.Write(buf); err != nil {
 		return fmt.Errorf("service: appending journal event: %w", err)
 	}
+	start := time.Now()
 	if err := jl.f.Sync(); err != nil {
 		return fmt.Errorf("service: syncing journal: %w", err)
+	}
+	jl.size += int64(len(buf))
+	if jl.onAppend != nil {
+		jl.onAppend(len(events), len(buf), time.Since(start))
 	}
 	return nil
 }

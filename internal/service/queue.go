@@ -87,6 +87,11 @@ type job struct {
 	leaseToken  string
 	leaseExpiry time.Time
 	leaseTTL    time.Duration
+	// lastBeat is when the lease was granted or last heartbeated —
+	// the liveness signal surfaced as heartbeat_age_seconds in status
+	// responses so an operator can spot a worker going quiet before the
+	// TTL expires it.
+	lastBeat time.Time
 }
 
 // requestCancel closes the job's cancel channel exactly once.
@@ -114,6 +119,17 @@ func (j *job) snapshotLocked() JobSnapshot {
 		t := j.finished
 		s.Finished = &t
 	}
+	if j.state == StateLeased {
+		t := j.leaseExpiry
+		s.LeaseExpires = &t
+		if !j.lastBeat.IsZero() {
+			age := time.Since(j.lastBeat).Seconds()
+			if age < 0 {
+				age = 0
+			}
+			s.HeartbeatAge = &age
+		}
+	}
 	return s
 }
 
@@ -131,6 +147,11 @@ type JobSnapshot struct {
 	// Worker is the remote worker that holds (or last held) the job's
 	// lease; empty for jobs executed in-process.
 	Worker string `json:"worker,omitempty"`
+	// Lease liveness, present only while the job is leased: when the
+	// lease lapses unless renewed, and how many seconds ago the holder
+	// was last heard from (grant or heartbeat).
+	LeaseExpires *time.Time `json:"lease_expires_at,omitempty"`
+	HeartbeatAge *float64   `json:"heartbeat_age_seconds,omitempty"`
 }
 
 // Duration reports how long the job ran. Jobs that never left the
@@ -183,6 +204,8 @@ type schedConfig struct {
 	record      func(journalEvent) error   // journal appender; nil = in-memory only
 	recordBatch func([]journalEvent) error // many events, one fsync; nil = record per event
 	onTerminal  func()                     // runs after each job's terminal event
+	met         *metrics                   // instrument sink; nil = private registry
+	bus         *eventBus                  // lifecycle event fan-out; nil = private bus
 }
 
 // scheduler runs queued jobs over a bounded worker pool and hands jobs
@@ -196,6 +219,8 @@ type scheduler struct {
 	record      func(journalEvent) error
 	recordBatch func([]journalEvent) error
 	onTerminal  func()
+	met         *metrics
+	bus         *eventBus
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -236,6 +261,16 @@ func newScheduler(cfg schedConfig, run func(*job)) *scheduler {
 	if ttl <= 0 {
 		ttl = defaultLeaseTTL
 	}
+	// Tests construct schedulers without a Service; give them private
+	// instruments so the counting paths stay unconditional.
+	met := cfg.met
+	if met == nil {
+		met = newMetrics()
+	}
+	bus := cfg.bus
+	if bus == nil {
+		bus = newEventBus(met)
+	}
 	s := &scheduler{
 		run:         run,
 		workerSlots: workers,
@@ -245,6 +280,8 @@ func newScheduler(cfg schedConfig, run func(*job)) *scheduler {
 		record:      cfg.record,
 		recordBatch: cfg.recordBatch,
 		onTerminal:  cfg.onTerminal,
+		met:         met,
+		bus:         bus,
 		jobs:        make(map[string]*job),
 		leases:      make(map[string]*job),
 		wake:        make(chan struct{}, workers+1),
@@ -265,10 +302,66 @@ func (s *scheduler) countMove(from, to JobState) {
 	s.stateN[stateIdx(to)].Add(1)
 }
 
+// publishLocked emits one event for the job's current state onto the
+// bus. Callers hold j.mu; the bus lock nests innermost and never
+// blocks, so publishing from inside scheduler transitions is safe.
+func (s *scheduler) publishLocked(j *job, typ string, now time.Time) {
+	ev := JobEvent{
+		Job:      j.id,
+		Type:     typ,
+		State:    j.state,
+		Stage:    j.stage,
+		Progress: j.progress,
+		Worker:   j.leaseWorker,
+		Error:    j.err,
+		Time:     now,
+	}
+	if typ == evTypeState && j.state == StateDone && j.result != nil {
+		sum := j.result.summary
+		ev.Summary = &sum
+	}
+	s.bus.publish(ev)
+}
+
+// markTerminal counts one terminal transition on the exposition.
+func (s *scheduler) markTerminal(st JobState) {
+	s.met.jobsTerminal.With(string(st)).Inc()
+}
+
+// stateCounts snapshots the per-state tallies for the /metrics mirror.
+func (s *scheduler) stateCounts() [numStates]int64 {
+	var out [numStates]int64
+	for i := range out {
+		out[i] = s.stateN[i].Load()
+	}
+	return out
+}
+
+// queueDepth reports the pending-queue length.
+func (s *scheduler) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// activeLeases reports the jobs currently out on a remote lease.
+func (s *scheduler) activeLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.leases)
+}
+
 // submit enqueues a request and returns the new job's ID. The
 // submitted event is journaled (and fsynced) before the ID is handed
 // back, so an acknowledged submission survives a crash.
 func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
+	return s.submitTraced(req, now, "")
+}
+
+// submitTraced is submit carrying the originating request ID into the
+// journal, so an operator can walk from an access-log line to the
+// durable record of what it caused.
+func (s *scheduler) submitTraced(req SubmitRequest, now time.Time, rid string) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -287,7 +380,7 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 		cancel:    make(chan struct{}),
 	}
 	if s.record != nil {
-		if err := s.record(journalEvent{Kind: evSubmitted, Job: j.id, Time: now, Req: &j.req}); err != nil {
+		if err := s.record(journalEvent{Kind: evSubmitted, Job: j.id, Time: now, Req: &j.req, RID: rid}); err != nil {
 			s.nextID--
 			s.mu.Unlock()
 			return "", err
@@ -297,6 +390,8 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 	s.order = append(s.order, j.id)
 	s.pending = append(s.pending, j)
 	s.stateN[stateIdx(StateQueued)].Add(1)
+	s.met.jobsSubmitted.Inc()
+	s.publishLocked(j, evTypeState, now)
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -327,11 +422,16 @@ func (s *scheduler) restore(jobs []*job, maxID int) {
 		case j.state == StateLeased:
 			j.leaseTTL = s.leaseTTL
 			j.leaseExpiry = now.Add(s.leaseTTL)
+			j.lastBeat = now
 			s.leases[j.id] = j
 		case !j.state.Terminal():
 			s.pending = append(s.pending, j)
 			requeued++
 		}
+		// Seed the restored job's event stream with its current state so
+		// an SSE subscriber on a replayed job gets an immediate answer
+		// (including the terminal summary) instead of silence.
+		s.publishLocked(j, evTypeState, now)
 	}
 	if maxID > s.nextID {
 		s.nextID = maxID
@@ -384,6 +484,7 @@ func (s *scheduler) pop() *job {
 			s.countMove(StateQueued, StateRunning)
 			j.state = StateRunning
 			j.started = time.Now()
+			s.publishLocked(j, evTypeState, j.started)
 		}
 		j.mu.Unlock()
 		if runnable {
@@ -429,6 +530,8 @@ func (s *scheduler) execute(j *job) {
 	// result, and one the user explicitly canceled records the cancel
 	// (user intent survives restarts; drain interruptions resume).
 	suppress := j.drainCanceled && !j.userCanceled && j.state == StateCanceled
+	s.markTerminal(j.state)
+	s.publishLocked(j, evTypeState, j.finished)
 	j.mu.Unlock()
 	if dur > 0 {
 		s.recordDuration(dur)
@@ -489,6 +592,7 @@ func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*j
 			j.leaseToken = token
 			j.leaseTTL = ttl
 			j.leaseExpiry = now.Add(ttl)
+			j.lastBeat = now
 			j.started = now
 			leased = j
 		}
@@ -511,12 +615,18 @@ func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*j
 			leased.leaseWorker = ""
 			leased.leaseToken = ""
 			leased.started = time.Time{}
+			leased.lastBeat = time.Time{}
 			leased.mu.Unlock()
 			delete(s.leases, leased.id)
 			s.pending = append([]*job{leased}, s.pending...)
+			s.met.leaseRequeues.Inc()
 			return nil, err
 		}
 	}
+	s.met.leaseGrants.Inc()
+	leased.mu.Lock()
+	s.publishLocked(leased, evTypeState, now)
+	leased.mu.Unlock()
 	return leased, nil
 }
 
@@ -545,12 +655,15 @@ func (s *scheduler) heartbeat(workerID, token, jobID, stage string, progress flo
 		return time.Time{}, fmt.Errorf("%w: job %s is %s", ErrLeaseLost, jobID, j.state)
 	}
 	j.leaseExpiry = now.Add(j.leaseTTL)
+	j.lastBeat = now
 	if stage != "" {
 		j.stage = stage
 	}
 	if progress > j.progress {
 		j.progress = progress
 	}
+	s.met.leaseHeartbeats.Inc()
+	s.publishLocked(j, evTypeProgress, now)
 	return j.leaseExpiry, nil
 }
 
@@ -623,6 +736,8 @@ func (s *scheduler) completeRemote(workerID, token, jobID string, state JobState
 	if !j.started.IsZero() && state != StateCanceled {
 		dur = now.Sub(j.started)
 	}
+	s.markTerminal(state)
+	s.publishLocked(j, evTypeState, now)
 	j.mu.Unlock()
 	s.mu.Lock()
 	delete(s.leases, jobID)
@@ -681,9 +796,11 @@ func (s *scheduler) expireLeases(now time.Time) {
 			j.leaseWorker = ""
 			j.leaseToken = ""
 			j.started = time.Time{}
+			j.lastBeat = time.Time{}
 			j.stage = ""
 			j.progress = 0
 			expired = append(expired, j)
+			s.publishLocked(j, evTypeState, now)
 		}
 		j.mu.Unlock()
 	}
@@ -710,6 +827,8 @@ func (s *scheduler) expireLeases(now time.Time) {
 			_ = s.record(ev)
 		}
 	}
+	s.met.leaseExpiries.Add(float64(len(expired)))
+	s.met.leaseRequeues.Add(float64(len(expired)))
 	s.mu.Unlock()
 	for range expired {
 		select {
@@ -777,6 +896,12 @@ func (s *scheduler) get(id string) (*job, bool) {
 // cancelJob cancels a queued or running job. Canceling a terminal job is
 // a no-op; unknown IDs return false.
 func (s *scheduler) cancelJob(id string) (JobSnapshot, error) {
+	return s.cancelJobTraced(id, "")
+}
+
+// cancelJobTraced is cancelJob carrying the originating request ID
+// into the journal.
+func (s *scheduler) cancelJobTraced(id, rid string) (JobSnapshot, error) {
 	// After shutdown the journal is closed: a cancel acknowledged now
 	// could not be recorded, and the restarted coordinator would revive
 	// the job — an acked-then-lost cancel. Refuse instead (HTTP 503);
@@ -810,7 +935,7 @@ func (s *scheduler) cancelJob(id string) (JobSnapshot, error) {
 		from := j.state
 		now := time.Now()
 		if s.record != nil {
-			if err := s.record(journalEvent{Kind: evCanceled, Job: j.id, Time: now}); err != nil {
+			if err := s.record(journalEvent{Kind: evCanceled, Job: j.id, Time: now, RID: rid}); err != nil {
 				j.mu.Unlock()
 				return JobSnapshot{}, ErrShuttingDown
 			}
@@ -823,6 +948,8 @@ func (s *scheduler) cancelJob(id string) (JobSnapshot, error) {
 		terminal = true
 		unqueue = from == StateQueued
 		unlease = from == StateLeased
+		s.markTerminal(StateCanceled)
+		s.publishLocked(j, evTypeState, now)
 	case StateRunning:
 		// The campaign observes the closed channel between stages and
 		// returns ErrCanceled; execute journals the terminal state (the
@@ -903,6 +1030,9 @@ func (s *scheduler) pruneTerminal() {
 		}
 	}
 	s.order = kept
+	// End the pruned jobs' event streams so their subscribers (and ring
+	// memory) go away with the records.
+	s.bus.drop(terminal[:drop])
 }
 
 // jobsInOrder returns every job in submission order.
@@ -1041,4 +1171,8 @@ func (s *scheduler) shutdown() {
 	}
 	close(s.quit)
 	s.wg.Wait()
+	// Wake every SSE subscriber after the workers have quiesced: their
+	// handlers return, so the HTTP server's graceful drain is never held
+	// open by an idle event stream.
+	s.bus.shutdown()
 }

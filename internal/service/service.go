@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -72,6 +73,10 @@ type Options struct {
 	// preserved, so the rerun is byte-identical). Workers may request a
 	// different TTL per lease, clamped to [1s, 5m]. 0 means 30s.
 	LeaseTTL time.Duration
+	// Logf, when set, receives one access-log line per instrumented
+	// HTTP request (method, path, status, latency, request ID). Nil
+	// disables access logging; metrics are recorded either way.
+	Logf func(format string, args ...any)
 }
 
 // Service is a long-lived, multi-tenant campaign evaluation service:
@@ -87,6 +92,8 @@ type Service struct {
 	maxResults int  // full campaign results retained; <0 = unbounded
 	streaming  bool // route all jobs through the streaming funnel
 	started    time.Time
+	met        *metrics
+	logf       func(format string, args ...any)
 
 	// Persistence (zero-valued when Options.StateDir is empty).
 	stateDir string
@@ -174,6 +181,8 @@ func Open(opts Options) (*Service, error) {
 		maxResults: maxResults,
 		streaming:  opts.Streaming,
 		started:    time.Now(),
+		met:        newMetrics(),
+		logf:       opts.Logf,
 		stateDir:   opts.StateDir,
 		snapStop:   make(chan struct{}),
 	}
@@ -186,6 +195,8 @@ func Open(opts Options) (*Service, error) {
 		leaseTTL:   opts.LeaseTTL,
 		maxQueued:  opts.MaxQueued,
 		maxRecords: opts.MaxJobRecords,
+		met:        s.met,
+		bus:        newEventBus(s.met),
 	}
 	var replayed []*job
 	var maxID int
@@ -204,11 +215,17 @@ func Open(opts Options) (*Service, error) {
 		if s.jl, err = openJournal(s.stateDir); err != nil {
 			return nil, err
 		}
+		s.jl.onAppend = func(events, bytes int, fsync time.Duration) {
+			s.met.journalAppends.Add(float64(events))
+			s.met.journalBytes.Add(float64(bytes))
+			s.met.journalFsync.Observe(fsync.Seconds())
+		}
 		cfg.record = s.jl.append
 		cfg.recordBatch = s.jl.appendBatch
 		cfg.onTerminal = func() { _ = s.Snapshot() }
 	}
 	s.sched = newScheduler(cfg, s.runJob)
+	s.registerCollectors()
 	if len(replayed) > 0 || maxID > 0 {
 		s.sched.restore(replayed, maxID)
 		s.sched.pruneTerminal()
@@ -248,7 +265,13 @@ func (s *Service) Snapshot() error {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	return saveSnapshot(s.stateDir, s.scores, s.features)
+	start := time.Now()
+	err := saveSnapshot(s.stateDir, s.scores, s.features)
+	if err == nil {
+		s.met.snapshots.Inc()
+		s.met.snapshotSeconds.Observe(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // Targets lists the receptor names the service accepts.
@@ -272,6 +295,14 @@ const (
 
 // Submit validates a request and enqueues it, returning the job ID.
 func (s *Service) Submit(req SubmitRequest) (string, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit carrying the request context: when the context
+// came through the HTTP middleware, its request ID is journaled with
+// the submitted event so the durable record traces back to the call
+// that caused it.
+func (s *Service) SubmitCtx(ctx context.Context, req SubmitRequest) (string, error) {
 	if _, ok := s.targets[req.Target]; !ok {
 		return "", fmt.Errorf("service: unknown target %q (have %v)", req.Target, s.Targets())
 	}
@@ -295,7 +326,7 @@ func (s *Service) Submit(req SubmitRequest) (string, error) {
 	if req.TrainSize != 0 && req.TrainSize < 10 {
 		return "", fmt.Errorf("service: train_size %d too small (min 10)", req.TrainSize)
 	}
-	return s.sched.submit(req, time.Now())
+	return s.sched.submitTraced(req, time.Now(), RequestIDFrom(ctx))
 }
 
 // BaseConfig translates a submission into the campaign config knobs
@@ -340,7 +371,14 @@ func (s *Service) configFor(j *job) campaign.Config {
 	cfg.Cancel = j.cancel
 	cfg.Progress = func(stage string, frac float64) {
 		j.mu.Lock()
+		// Publish only meaningful movement — a stage change or ≥1% of
+		// progress — so a chatty campaign cannot churn the job's bounded
+		// event ring out of its replay window.
+		notable := stage != j.stage || frac >= j.progress+0.01 || (frac >= 1 && j.progress < 1)
 		j.stage, j.progress = stage, frac
+		if notable {
+			s.sched.publishLocked(j, evTypeProgress, time.Now())
+		}
 		j.mu.Unlock()
 	}
 	return cfg
@@ -378,6 +416,9 @@ func (s *Service) runJob(j *job) {
 		}
 	}
 	j.mu.Unlock()
+	if err == nil && res != nil {
+		s.met.observeFunnel(res.Funnel.Timings, res.Funnel.WallSeconds)
+	}
 	s.trimResults()
 }
 
@@ -462,6 +503,21 @@ type WorkerResult struct {
 	Canceled bool           `json:"canceled,omitempty"`
 	Scores   []ScoreEntry   `json:"scores,omitempty"`
 	Features []FeatureEntry `json:"features,omitempty"`
+	// Stats carries the run's observability payload — the worker's
+	// local cache effectiveness and stage timings — so the coordinator's
+	// /metrics shows fleet-wide behavior, not just its own.
+	Stats *WorkerRunStats `json:"stats,omitempty"`
+}
+
+// WorkerRunStats is what one remote run reports about itself: the
+// worker-local cache deltas for the run (hits/misses/evictions during
+// this job only, not since worker start) and the funnel's per-stage
+// wall-clock windows.
+type WorkerRunStats struct {
+	ScoreCache   CacheStats             `json:"score_cache"`
+	FeatureCache CacheStats             `json:"feature_cache"`
+	Timings      []campaign.StageTiming `json:"timings,omitempty"`
+	WallSeconds  float64                `json:"wall_seconds,omitempty"`
 }
 
 // Complete finalizes a leased job with a remote worker's result and
@@ -485,6 +541,19 @@ func (s *Service) Complete(workerID, token, jobID string, res WorkerResult) erro
 	}
 	s.scores.Import(res.Scores)
 	s.features.Import(res.Features)
+	// Fold the run's observability payload into the fleet-wide series —
+	// only now, after the completion was accepted, so a lost lease
+	// cannot inflate the counters.
+	s.met.addWorkerCacheStats(res.Stats)
+	if state == StateDone {
+		timings, wall := []campaign.StageTiming(nil), 0.0
+		if res.Stats != nil && len(res.Stats.Timings) > 0 {
+			timings, wall = res.Stats.Timings, res.Stats.WallSeconds
+		} else if res.Summary != nil {
+			timings, wall = res.Summary.Funnel.Timings, res.Summary.Funnel.WallSeconds
+		}
+		s.met.observeFunnel(timings, wall)
+	}
 	// The per-terminal checkpoint runs here, after the merge
 	// (completeRemote deliberately skips onTerminal): a checkpoint
 	// taken before the deltas land would systematically exclude this

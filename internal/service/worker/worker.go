@@ -139,6 +139,13 @@ func (w *Worker) ID() string { return w.opts.ID }
 // Completed returns how many jobs this worker has finalized.
 func (w *Worker) Completed() int64 { return w.completed.Load() }
 
+// ScoreCacheStats snapshots the worker's persistent score cache — the
+// worker binary's own /metrics listener reads these at scrape time.
+func (w *Worker) ScoreCacheStats() service.CacheStats { return w.scores.Stats() }
+
+// FeatureCacheStats snapshots the worker's persistent feature cache.
+func (w *Worker) FeatureCacheStats() service.CacheStats { return w.features.Stats() }
+
 // Run leases and executes jobs until ctx is canceled. Lease/poll
 // errors are logged and retried — a worker outlives coordinator
 // restarts and network blips; correctness lives in the lease protocol,
@@ -214,6 +221,13 @@ func (w *Worker) execute(ctx context.Context, g *service.LeaseGrant) error {
 	var prog progressState
 	cfg.Progress = prog.set
 
+	// Snapshot the persistent caches before the run: the difference
+	// afterwards is this job's contribution, reported with the
+	// completion so the coordinator's /metrics shows fleet-wide cache
+	// effectiveness (impeccable_worker_cache_*_total).
+	scoresBefore, featuresBefore := w.scores.Stats(), w.features.Stats()
+	runStart := time.Now()
+
 	runDone := make(chan struct{})
 	hbDone := make(chan struct{})
 	go func() {
@@ -241,6 +255,11 @@ func (w *Worker) execute(ctx context.Context, g *service.LeaseGrant) error {
 		w.logf("worker %s: %s delta capped (%d score, %d feature entries not shipped; coordinator cache stays colder)",
 			w.opts.ID, g.JobID, ds, df)
 	}
+	out.Stats = &service.WorkerRunStats{
+		ScoreCache:   statsDelta(scoresBefore, w.scores.Stats()),
+		FeatureCache: statsDelta(featuresBefore, w.features.Stats()),
+		WallSeconds:  time.Since(runStart).Seconds(),
+	}
 	switch {
 	case errors.Is(err, campaign.ErrCanceled):
 		out.Canceled = true
@@ -252,6 +271,8 @@ func (w *Worker) execute(ctx context.Context, g *service.LeaseGrant) error {
 			Top:             res.Top,
 			ScientificYield: res.ScientificYield,
 		}
+		out.Stats.Timings = res.Funnel.Timings
+		out.Stats.WallSeconds = res.Funnel.WallSeconds
 	}
 	return w.postComplete(ctx, g, out)
 }
@@ -355,6 +376,10 @@ func (w *Worker) postVia(ctx context.Context, client *http.Client, path string, 
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// One request ID per call, echoed back by the coordinator and
+	// stamped on its access log — a failed lease or complete can be
+	// matched to the exact coordinator-side line.
+	req.Header.Set("X-Request-Id", fmt.Sprintf("%s-%d", w.opts.ID, time.Now().UnixNano()))
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
@@ -369,6 +394,24 @@ func (w *Worker) postVia(ctx context.Context, client *http.Client, path string, 
 	// Drain so the connection is reused.
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	return resp.StatusCode, nil
+}
+
+// statsDelta subtracts a before-run cache snapshot from the after-run
+// one, yielding this job's own traffic. Entry counts and shard width
+// are reported as-is (they are levels, not counters).
+func statsDelta(before, after service.CacheStats) service.CacheStats {
+	d := service.CacheStats{
+		Shards:    after.Shards,
+		Entries:   after.Entries,
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Puts:      after.Puts - before.Puts,
+		Evictions: after.Evictions - before.Evictions,
+	}
+	if lookups := d.Hits + d.Misses; lookups > 0 {
+		d.HitRate = float64(d.Hits) / float64(lookups)
+	}
+	return d
 }
 
 // progressState is the campaign's latest stage/progress, written by

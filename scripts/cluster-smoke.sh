@@ -4,7 +4,10 @@
 # (-workers=0 -state-dir), two impeccable-worker processes, submits
 # three campaigns, kills one worker with SIGKILL mid-run, and asserts
 # every job still reaches "done" (the killed worker's job re-enters
-# the queue via lease expiry and reruns on the survivor).
+# the queue via lease expiry and reruns on the survivor). Along the
+# way it scrapes /metrics — mid-run and again after the kill — runs
+# each scrape through metrics-lint (the 0.0.4 grammar checker), and
+# fails unless lease_expiries_total shows the revoked lease.
 #
 # Environment:
 #   STATE_DIR   coordinator state dir (default ./cluster-state);
@@ -29,6 +32,21 @@ trap cleanup EXIT
 echo "== building binaries"
 go build -o "$BIN/impeccable-server" ./cmd/impeccable-server
 go build -o "$BIN/impeccable-worker" ./cmd/impeccable-worker
+go build -o "$BIN/metrics-lint" ./cmd/metrics-lint
+
+# scrape_metrics NAME: fetch /metrics, save it beside the logs, and
+# fail the run if the exposition does not parse.
+scrape_metrics() {
+  local name=$1 out="$STATE_DIR/metrics-$1.prom"
+  curl -sf "$BASE/metrics" >"$out" || { echo "scrape $name failed"; exit 1; }
+  "$BIN/metrics-lint" <"$out" || { echo "scrape $name fails grammar check"; exit 1; }
+  echo "   scrape $name: $(wc -l <"$out") lines, valid exposition"
+}
+
+# metric_value FILE NAME: print a series' value (0 if absent).
+metric_value() {
+  awk -v name="$2" '$1 == name { print $2; found=1 } END { if (!found) print 0 }' "$1"
+}
 
 echo "== starting coordinator (zero in-process workers)"
 mkdir -p "$STATE_DIR"
@@ -67,8 +85,31 @@ for _ in $(seq 1 100); do
   sleep 0.2
 done
 [ "$leased" -gt 0 ] || { echo "no job ever got leased"; exit 1; }
+
+echo "== scraping /metrics mid-run"
+scrape_metrics midrun
+grants=$(metric_value "$STATE_DIR/metrics-midrun.prom" impeccable_lease_grants_total)
+[ "${grants%.*}" -gt 0 ] || { echo "lease_grants_total is 0 with a job leased"; exit 1; }
+
 kill -9 "$W1"
 echo "killed worker 1 (pid $W1) with $leased job(s) leased"
+
+echo "== waiting for the killed worker's lease to expire"
+for _ in $(seq 1 100); do
+  expiries=$(curl -sf "$BASE/metrics" | awk '$1 == "impeccable_lease_expiries_total" { print $2 }')
+  if [ "${expiries%.*}" -gt 0 ] 2>/dev/null; then break; fi
+  sleep 0.3
+done
+
+echo "== scraping /metrics after the kill"
+scrape_metrics post-kill
+expiries=$(metric_value "$STATE_DIR/metrics-post-kill.prom" impeccable_lease_expiries_total)
+requeues=$(metric_value "$STATE_DIR/metrics-post-kill.prom" impeccable_lease_requeues_total)
+if [ "${expiries%.*}" -eq 0 ]; then
+  echo "lease_expiries_total is still 0 after SIGKILLing a lease holder"
+  exit 1
+fi
+echo "   lease expiries: $expiries, requeues: $requeues"
 
 echo "== waiting for all three jobs to finish"
 deadline=$(( $(date +%s) + 600 ))
@@ -87,7 +128,9 @@ done
 echo "== final state"
 curl -s "$BASE/api/v1/campaigns" | jq '[.[] | {id, state, worker}]'
 curl -s "$BASE/healthz" | jq .
+scrape_metrics final
 
 # Every job completed on a surviving worker even though one worker was
-# SIGKILLed mid-run: the lease protocol did its job.
+# SIGKILLed mid-run: the lease protocol did its job, and /metrics told
+# the story as it happened.
 echo "cluster-smoke OK"
