@@ -16,7 +16,6 @@ import (
 	"runtime"
 	"testing"
 
-	"impeccable/internal/analysis"
 	"impeccable/internal/campaign"
 	"impeccable/internal/chem"
 	"impeccable/internal/deepdrive"
@@ -26,6 +25,7 @@ import (
 	"impeccable/internal/latent"
 	"impeccable/internal/raptor"
 	"impeccable/internal/receptor"
+	"impeccable/internal/stats"
 	"impeccable/internal/surrogate"
 	"impeccable/internal/ties"
 	"impeccable/internal/xrand"
@@ -190,8 +190,8 @@ func BenchmarkFig5A_DeltaGHistogram(b *testing.B) {
 		for j := 0; j < 40; j++ {
 			dgs = append(dgs, runner.Estimate(chem.FromID(r.Uint64()), nil, proto).DeltaG)
 		}
-		s := analysis.Summarize(dgs)
-		h := analysis.NewHistogram(dgs, -60, 20, 16)
+		s := stats.Summarize(dgs)
+		h := stats.NewHistogram(dgs, -60, 20, 16)
 		b.ReportMetric(s.Mean, "mean-dG")
 		b.ReportMetric(s.Min, "min-dG")
 		b.ReportMetric(s.Max, "max-dG")
@@ -217,7 +217,7 @@ func BenchmarkFig5B_RMSDDistribution(b *testing.B) {
 				outliers++
 			}
 		}
-		s := analysis.Summarize(rmsds)
+		s := stats.Summarize(rmsds)
 		b.ReportMetric(s.Median, "median-RMSD")
 		b.ReportMetric(float64(outliers), "LPCs-above-1.9A")
 		b.Logf("RMSD: median %.2f Å (IQR %.2f–%.2f), %d/24 LPCs exceed 1.9 Å",
@@ -322,7 +322,7 @@ func BenchmarkFig7_Utilization(b *testing.B) {
 		b.ReportMetric(res.MeanSchedulingDelay, "sched-delay-s")
 		b.Logf("makespan %.1f h, utilization %.0f%%, mean scheduling delay %.1f s\n%s",
 			res.Makespan/3600, 100*res.Utilization, res.MeanSchedulingDelay,
-			analysis.TimeSeries(ts, vs, 64, 8))
+			stats.TimeSeries(ts, vs, 64, 8))
 	}
 }
 
@@ -379,7 +379,7 @@ func BenchmarkAblation_EnsembleVariance(b *testing.B) {
 			for seed := uint64(0); seed < 6; seed++ {
 				dgs = append(dgs, esmacs.NewRunner(tg, seed).Estimate(m, nil, proto).DeltaG)
 			}
-			return analysis.Summarize(dgs).Std
+			return stats.Summarize(dgs).Std
 		}
 		single := fastCG()
 		single.Replicas = 1

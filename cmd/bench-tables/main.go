@@ -14,7 +14,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"impeccable/internal/analysis"
 	"impeccable/internal/campaign"
 	"impeccable/internal/chem"
 	"impeccable/internal/deepdrive"
@@ -22,6 +21,7 @@ import (
 	"impeccable/internal/esmacs"
 	"impeccable/internal/latent"
 	"impeccable/internal/receptor"
+	"impeccable/internal/stats"
 	"impeccable/internal/surrogate"
 	"impeccable/internal/xrand"
 )
@@ -85,7 +85,7 @@ func writeCSV(name string, header []string, rows [][]string) {
 		return
 	}
 	defer f.Close()
-	if err := analysis.WriteCSV(f, header, rows); err != nil {
+	if err := stats.WriteCSV(f, header, rows); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 }
@@ -102,7 +102,7 @@ func table2() {
 		})
 	}
 	hdr := []string{"method", "nodes/ligand", "hours/ligand", "node-hours/ligand"}
-	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println(stats.Table(hdr, rows))
 	writeCSV("table2.csv", hdr, rows)
 }
 
@@ -152,7 +152,7 @@ func table3(seed uint64) {
 		{"S3-CG", fmt.Sprintf("%.2f", 1/cgT), "2000 (6000 GPUs)"},
 		{"S3-FG", fmt.Sprintf("%.2f", 1/fgT), "200 (6000 GPUs)"},
 	}
-	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println(stats.Table(hdr, rows))
 	fmt.Printf("shape check: ML1 >> S1 >> CG ≈ 10×FG (paper ratios 22:71:10:1)\n\n")
 	writeCSV("table3.csv", hdr, rows)
 }
@@ -197,7 +197,7 @@ func fig4(seed uint64) {
 		rows = append(rows, row)
 		_ = a
 	}
-	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println(stats.Table(hdr, rows))
 	writeCSV("fig4_res.csv", hdr, rows)
 }
 
@@ -220,8 +220,8 @@ func fig5(seed uint64) {
 		}
 	}
 	fmt.Println("5A: ΔG histogram (kcal/mol):")
-	fmt.Println(analysis.NewHistogram(dgs, -60, 20, 16).Render(40))
-	s := analysis.Summarize(rmsds)
+	fmt.Println(stats.NewHistogram(dgs, -60, 20, 16).Render(40))
+	s := stats.Summarize(rmsds)
 	fmt.Printf("5B: RMSD median %.2f Å (IQR %.2f-%.2f, max %.2f)\n\n", s.Median, s.Q25, s.Q75, s.Max)
 
 	d := deepdrive.NewDriver(tg)
@@ -244,7 +244,7 @@ func fig5(seed uint64) {
 	for _, i := range latent.TopOutliers(rep.LOF, len(rep.LOF)/10) {
 		mark[i] = true
 	}
-	fmt.Println(analysis.Scatter(emb, mark, 66, 18))
+	fmt.Println(stats.Scatter(emb, mark, 66, 18))
 	rows := [][]string{}
 	for i, dg := range dgs {
 		rows = append(rows, []string{fmt.Sprint(i), fmt.Sprintf("%.2f", dg), fmt.Sprintf("%.3f", rmsds[i])})
@@ -285,7 +285,7 @@ func fig6(seed uint64) {
 			fmt.Sprintf("%.1f", tc.Truth),
 		})
 	}
-	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println(stats.Table(hdr, rows))
 	fmt.Printf("FG below CG for %d/%d top compounds (paper: 5/5)\n\n", lower, len(res.Top))
 	writeCSV("fig6_cg_fg.csv", hdr, rows)
 }
@@ -305,7 +305,7 @@ func fig7(seed uint64) {
 			fmt.Sprintf("%.3f", s.Time), fmt.Sprint(s.BusyNodes),
 			fmt.Sprint(s.Running), fmt.Sprint(s.Queued)})
 	}
-	fmt.Print(analysis.TimeSeries(ts, vs, 70, 10))
+	fmt.Print(stats.TimeSeries(ts, vs, 70, 10))
 	fmt.Printf("makespan %.1f h, utilization %.0f%%, mean scheduling delay %.1f s\n\n",
 		res.Makespan/3600, 100*res.Utilization, res.MeanSchedulingDelay)
 	writeCSV("fig7_utilization.csv", []string{"time_s", "busy_nodes", "running", "queued"}, rows)
@@ -324,7 +324,7 @@ func scalingSweep(seed uint64) {
 			fmt.Sprintf("%.2f", res.Utilization),
 		})
 	}
-	fmt.Println(analysis.Table(hdr, rows))
+	fmt.Println(stats.Table(hdr, rows))
 	fmt.Println("paper: sustained 40M docks/hour on ~4000 nodes; near-linear scaling")
 	writeCSV("scaling.csv", hdr, rows)
 }

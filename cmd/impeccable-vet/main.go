@@ -1,0 +1,109 @@
+// Command impeccable-vet runs the project-invariant static-analysis
+// suite (internal/analysis) over the repository: determinism of the
+// science packages, the declared service mutex order,
+// journal-before-apply on terminal job states, source-level metric
+// grammar, and map-iteration ordering. It exits nonzero on any
+// unsuppressed finding, so CI can gate merges on the invariants the
+// golden-funnel guarantee rests on.
+//
+// Usage:
+//
+//	impeccable-vet [-json] [-analyzers=a,b] [packages ...]
+//
+// Package patterns default to ./... and accept directories, module
+// import paths, and /... suffixes. Findings are suppressed one site
+// at a time with //impeccable:<keyword> directives; see DESIGN.md §5.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"impeccable/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: impeccable-vet [flags] [packages ...]\n\nanalyzers:\n")
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := analysis.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "impeccable-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "impeccable-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "impeccable-vet: %v\n", err)
+		os.Exit(2)
+	}
+	// Type errors mean partial analysis: surface them so a finding the
+	// checker could not reach is never mistaken for a clean pass.
+	badTypes := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			badTypes = true
+			fmt.Fprintf(os.Stderr, "impeccable-vet: %s: type error: %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "impeccable-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	switch {
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "impeccable-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	case badTypes:
+		os.Exit(2)
+	}
+}

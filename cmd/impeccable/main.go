@@ -15,9 +15,9 @@ import (
 	"os"
 	"strings"
 
-	"impeccable/internal/analysis"
 	"impeccable/internal/campaign"
 	"impeccable/internal/receptor"
+	"impeccable/internal/stats"
 )
 
 func main() {
@@ -83,7 +83,7 @@ func main() {
 
 	f := res.Funnel
 	fmt.Println("Funnel:")
-	fmt.Println(analysis.Table(
+	fmt.Println(stats.Table(
 		[]string{"stage", "compounds/units"},
 		[][]string{
 			{"ML1 screened", fmt.Sprint(f.Screened)},
@@ -103,7 +103,7 @@ func main() {
 			fmt.Sprintf("%.1f", tc.Truth),
 		})
 	}
-	fmt.Println(analysis.Table(
+	fmt.Println(stats.Table(
 		[]string{"compound", "ΔG CG (kcal/mol)", "ΔG FG (kcal/mol)", "truth"}, rows))
 
 	fmt.Printf("Surrogate RES(1e-2, 1e-2): %.0f%% of true top captured\n",
@@ -116,5 +116,5 @@ func main() {
 	for _, s := range res.Counter.Stats() {
 		frow = append(frow, []string{s.Component, fmt.Sprint(s.Flops), fmt.Sprint(s.Units)})
 	}
-	fmt.Println(analysis.Table([]string{"component", "flops", "work units"}, frow))
+	fmt.Println(stats.Table([]string{"component", "flops", "work units"}, frow))
 }

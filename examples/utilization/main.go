@@ -11,7 +11,7 @@ import (
 	"fmt"
 
 	"impeccable"
-	"impeccable/internal/analysis"
+	"impeccable/internal/stats"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 		ts[i] = s.Time / 3600
 		vs[i] = float64(s.BusyNodes)
 	}
-	fmt.Print(analysis.TimeSeries(ts, vs, 70, 10))
+	fmt.Print(stats.TimeSeries(ts, vs, 70, 10))
 	fmt.Printf("\n  busy nodes over time (hours); makespan %.1f h\n", res.Makespan/3600)
 	fmt.Printf("  utilization %.0f%%, %d tasks, %.0f node-hours, mean scheduling delay %.1f s\n\n",
 		100*res.Utilization, res.Tasks, res.NodeHours, res.MeanSchedulingDelay)

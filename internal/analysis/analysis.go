@@ -1,350 +1,144 @@
-// Package analysis provides the statistics and reporting toolkit the
-// benchmark harness uses to regenerate the paper's tables and figures:
-// histograms (Fig. 5A), summary statistics, ASCII renderings of
-// distributions and time series (Fig. 7), aligned-table printing
-// (Tables 2-3) and CSV output for external plotting.
+// Package analysis is the project-invariant static-analysis suite
+// behind cmd/impeccable-vet. The reproduction's headline guarantee —
+// byte-identical science across the sequential, EnTK and streaming
+// paths, and across crash/restart/worker-kill reruns — rests on
+// invariants that ordinary tests cannot pin down exhaustively: all
+// randomness flows through xrand.RNG, all schedulable time through
+// hpc.Clock, terminal job-state transitions journal before they apply,
+// and the scheduler/job/bus mutexes nest in one fixed order. This
+// package turns each invariant into a compile-time check over the
+// typed AST, in the spirit of analyzing concurrent programs against
+// declared concurrency specifications rather than testing them.
+//
+// The framework is dependency-free: stdlib go/parser, go/ast, go/types
+// and go/token only (matching the zero-dep ethos of internal/obs). It
+// deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer reports Diagnostics through a Pass — without importing
+// it, so the module's dependency graph stays empty.
+//
+// Findings are suppressed, one site at a time, with directive
+// comments of the form
+//
+//	//impeccable:<keyword> <justification>
+//
+// placed on the offending line or the line directly above it. Each
+// analyzer accepts its own keyword (wallclock, lockorder, unjournaled,
+// metricname, unordered); the keyword "ignore" silences any analyzer.
+// A directive is a reviewed, greppable exception — the justification
+// text is part of the contract.
 package analysis
 
 import (
 	"fmt"
-	"io"
-	"math"
+	"go/token"
 	"sort"
 	"strings"
 )
 
-// Summary holds descriptive statistics of a sample.
-type Summary struct {
-	N                int
-	Mean, Std        float64
-	Min, Max, Median float64
-	Q25, Q75         float64
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
 }
 
-// Summarize computes descriptive statistics. An empty input yields a zero
-// Summary.
-func Summarize(x []float64) Summary {
-	if len(x) == 0 {
-		return Summary{}
-	}
-	s := Summary{N: len(x)}
-	sorted := append([]float64(nil), x...)
-	sort.Float64s(sorted)
-	var sum, sumsq float64
-	for _, v := range sorted {
-		sum += v
-		sumsq += v * v
-	}
-	n := float64(s.N)
-	s.Mean = sum / n
-	variance := sumsq/n - s.Mean*s.Mean
-	if variance < 0 {
-		variance = 0
-	}
-	s.Std = math.Sqrt(variance)
-	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
-	s.Median = Quantile(sorted, 0.5)
-	s.Q25 = Quantile(sorted, 0.25)
-	s.Q75 = Quantile(sorted, 0.75)
-	return s
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Quantile returns the q-quantile of an ascending-sorted sample with
-// linear interpolation.
-func Quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[lo]
-	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+// Analyzer is one named invariant check. Run inspects a single
+// type-checked package and reports findings through the pass.
+type Analyzer interface {
+	// Name identifies the analyzer in diagnostics and in the
+	// -analyzers flag.
+	Name() string
+	// Doc is the one-line description shown by impeccable-vet's usage.
+	Doc() string
+	// Directive is the suppression keyword the analyzer honors
+	// (besides the universal "ignore").
+	Directive() string
+	// Run analyzes one package.
+	Run(pass *Pass)
 }
 
-// Pearson returns the Pearson correlation of two equal-length samples
-// (0 when degenerate).
-func Pearson(a, b []float64) float64 {
-	if len(a) != len(b) || len(a) < 2 {
-		return 0
-	}
-	var sx, sy, sxx, syy, sxy float64
-	n := float64(len(a))
-	for i := range a {
-		sx += a[i]
-		sy += b[i]
-		sxx += a[i] * a[i]
-		syy += b[i] * b[i]
-		sxy += a[i] * b[i]
-	}
-	den := math.Sqrt((sxx/n - sx/n*sx/n) * (syy/n - sy/n*sy/n))
-	if den == 0 {
-		return 0
-	}
-	return (sxy/n - sx/n*sy/n) / den
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Pkg      *Package
+	analyzer Analyzer
+	diags    *[]Diagnostic
 }
 
-// Histogram is a fixed-width binning of a sample.
-type Histogram struct {
-	Lo, Hi float64
-	Counts []int
-	Total  int
+// Report files a diagnostic at pos unless a matching suppression
+// directive covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(position, p.analyzer.Directive()) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.analyzer.Name(),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
-// NewHistogram bins x into nbins equal-width bins over [lo, hi]; values
-// outside clamp to the edge bins.
-func NewHistogram(x []float64, lo, hi float64, nbins int) *Histogram {
-	if nbins < 1 {
-		nbins = 1
-	}
-	if hi <= lo {
-		hi = lo + 1
-	}
-	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
-	w := (hi - lo) / float64(nbins)
-	for _, v := range x {
-		b := int((v - lo) / w)
-		if b < 0 {
-			b = 0
-		}
-		if b >= nbins {
-			b = nbins - 1
-		}
-		h.Counts[b]++
-		h.Total++
-	}
-	return h
-}
-
-// BinCenter returns the center of bin i.
-func (h *Histogram) BinCenter(i int) float64 {
-	w := (h.Hi - h.Lo) / float64(len(h.Counts))
-	return h.Lo + w*(float64(i)+0.5)
-}
-
-// Mode returns the index of the fullest bin.
-func (h *Histogram) Mode() int {
-	best := 0
-	for i, c := range h.Counts {
-		if c > h.Counts[best] {
-			best = i
+// Run applies each analyzer to each package and returns the combined
+// unsuppressed findings sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
 		}
 	}
-	return best
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
 }
 
-// Render draws the histogram as ASCII rows of '#' bars, width columns
-// wide.
-func (h *Histogram) Render(width int) string {
-	if width < 1 {
-		width = 40
-	}
-	maxC := 0
-	for _, c := range h.Counts {
-		if c > maxC {
-			maxC = c
-		}
-	}
-	var b strings.Builder
-	for i, c := range h.Counts {
-		bar := 0
-		if maxC > 0 {
-			bar = c * width / maxC
-		}
-		fmt.Fprintf(&b, "%9.2f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
-	}
-	return b.String()
-}
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//impeccable:"
 
-// Table renders rows as an aligned text table with the given header.
-func Table(header []string, rows [][]string) string {
-	widths := make([]int, len(header))
-	for i, hdr := range header {
-		widths[i] = len(hdr)
+// suppressed reports whether a directive with the given keyword (or
+// "ignore") covers the line at position: same line, or the line
+// directly above.
+func (pkg *Package) suppressed(pos token.Position, keyword string) bool {
+	lines, ok := pkg.directives[pos.Filename]
+	if !ok {
+		return false
 	}
-	for _, row := range rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, kw := range lines[line] {
+			if kw == keyword || kw == "ignore" {
+				return true
 			}
 		}
 	}
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(header)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, row := range rows {
-		writeRow(row)
-	}
-	return b.String()
+	return false
 }
 
-// WriteCSV writes header and rows in CSV form (minimal quoting: fields
-// containing commas or quotes are quoted).
-func WriteCSV(w io.Writer, header []string, rows [][]string) error {
-	writeLine := func(cells []string) error {
-		for i, c := range cells {
-			if i > 0 {
-				if _, err := io.WriteString(w, ","); err != nil {
-					return err
-				}
-			}
-			if strings.ContainsAny(c, ",\"\n") {
-				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
-			}
-			if _, err := io.WriteString(w, c); err != nil {
-				return err
-			}
-		}
-		_, err := io.WriteString(w, "\n")
-		return err
+// parseDirective extracts the keyword from one comment's text, or ""
+// when the comment is not a directive. The keyword runs to the first
+// space; everything after it is the human justification.
+func parseDirective(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
 	}
-	if err := writeLine(header); err != nil {
-		return err
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
 	}
-	for _, r := range rows {
-		if err := writeLine(r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// TimeSeries renders (t, v) samples as an ASCII strip chart: time is
-// discretized into width columns; each column shows the mean value scaled
-// into height rows. Used for the Fig. 7 utilization plot.
-func TimeSeries(ts, vs []float64, width, height int) string {
-	if len(ts) == 0 || len(ts) != len(vs) {
-		return "(no data)\n"
-	}
-	if width < 10 {
-		width = 60
-	}
-	if height < 3 {
-		height = 10
-	}
-	t0, t1 := ts[0], ts[len(ts)-1]
-	if t1 <= t0 {
-		t1 = t0 + 1
-	}
-	vmax := 0.0
-	for _, v := range vs {
-		if v > vmax {
-			vmax = v
-		}
-	}
-	if vmax == 0 {
-		vmax = 1
-	}
-	// Column means via last-observation-carried-forward sampling.
-	cols := make([]float64, width)
-	idx := 0
-	for c := 0; c < width; c++ {
-		tc := t0 + (t1-t0)*float64(c)/float64(width-1)
-		for idx+1 < len(ts) && ts[idx+1] <= tc {
-			idx++
-		}
-		cols[c] = vs[idx]
-	}
-	var b strings.Builder
-	for r := height; r >= 1; r-- {
-		thresh := vmax * (float64(r) - 0.5) / float64(height)
-		fmt.Fprintf(&b, "%8.1f |", vmax*float64(r)/float64(height))
-		for c := 0; c < width; c++ {
-			if cols[c] >= thresh {
-				b.WriteByte('#')
-			} else {
-				b.WriteByte(' ')
-			}
-		}
-		b.WriteByte('\n')
-	}
-	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
-	fmt.Fprintf(&b, "%8s  t=%.1f%s t=%.1f\n", "", t0,
-		strings.Repeat(" ", maxInt(1, width-18)), t1)
-	return b.String()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// Scatter renders 2-D points as an ASCII scatter plot. Points with
-// mark[i] true draw as 'O' (outliers, drawn last so they stay visible),
-// others as '·' — the Fig. 5C latent-space rendering.
-func Scatter(pts [][]float64, mark []bool, width, height int) string {
-	if len(pts) == 0 {
-		return "(no data)\n"
-	}
-	if width < 10 {
-		width = 60
-	}
-	if height < 5 {
-		height = 20
-	}
-	minX, maxX := math.Inf(1), math.Inf(-1)
-	minY, maxY := math.Inf(1), math.Inf(-1)
-	for _, p := range pts {
-		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
-		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
-	}
-	if maxX <= minX {
-		maxX = minX + 1
-	}
-	if maxY <= minY {
-		maxY = minY + 1
-	}
-	grid := make([][]byte, height)
-	for r := range grid {
-		grid[r] = []byte(strings.Repeat(" ", width))
-	}
-	place := func(p []float64, c byte) {
-		x := int((p[0] - minX) / (maxX - minX) * float64(width-1))
-		y := int((p[1] - minY) / (maxY - minY) * float64(height-1))
-		grid[height-1-y][x] = c
-	}
-	for i, p := range pts {
-		if mark == nil || !mark[i] {
-			place(p, '.')
-		}
-	}
-	for i, p := range pts {
-		if mark != nil && mark[i] {
-			place(p, 'O')
-		}
-	}
-	var b strings.Builder
-	for _, row := range grid {
-		b.WriteByte('|')
-		b.Write(row)
-		b.WriteString("|\n")
-	}
-	b.WriteString(strings.Repeat("-", width+2))
-	b.WriteByte('\n')
-	return b.String()
+	return rest
 }

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// This file is the fixture harness used by the analyzer tests: a
+// fixture package under testdata/src carries // want "regex"
+// expectations on the lines where an analyzer must fire, and
+// CheckFixture verifies the diagnostics and the expectations match
+// one-to-one. It lives in the non-test part of the package so the
+// per-analyzer test files stay declarative.
+
+// wantRE extracts the quoted expectations from a // want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE extracts each quoted regex from the expectation list.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want entry awaiting a matching diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// CheckFixture runs the analyzers over one fixture package (rooted at
+// fixtureRoot, which must hold a go.mod) and diffs the diagnostics
+// against the fixture's // want expectations. Each diagnostic must
+// match an expectation on its line, and each expectation must be hit.
+// Failures are returned as one message per problem.
+func CheckFixture(fixtureRoot, pattern string, analyzers ...Analyzer) []string {
+	loader, err := NewLoader(fixtureRoot)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	pkgs, err := loader.Load(pattern)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	if len(pkgs) == 0 {
+		return []string{fmt.Sprintf("no packages matched %q under %s", pattern, fixtureRoot)}
+	}
+	var problems []string
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			problems = append(problems, fmt.Sprintf("fixture type error: %v", err))
+		}
+		w, errs := collectWants(pkg.Dir)
+		problems = append(problems, errs...)
+		wants = append(wants, w...)
+	}
+	for _, d := range Run(pkgs, analyzers) {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q never reported", w.file, w.line, w.re))
+		}
+	}
+	return problems
+}
+
+// collectWants scans a fixture directory's Go files for // want comments.
+func collectWants(dir string) ([]*expectation, []string) {
+	var wants []*expectation
+	var problems []string
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []string{err.Error()}
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				problems = append(problems, fmt.Sprintf("%s:%d: malformed want comment", e.Name(), i+1))
+				continue
+			}
+			for _, q := range quoted {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: bad want regex: %v", e.Name(), i+1, err))
+					continue
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, problems
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids wall-clock time and globally-seeded randomness
+// in the science packages. Every table and figure of the reproduction
+// must regenerate bit-identically from (seed, libOffset); a single
+// time.Now() feeding a result, or one math/rand draw from the global
+// stream, silently breaks the golden-funnel guarantee in a way no
+// fixed-seed test can reliably catch. Randomness must come from
+// xrand.RNG streams and schedulable time from hpc.Clock; genuinely
+// operational wall-clock reads (telemetry, stage timings) are
+// suppressed site-by-site with //impeccable:wallclock.
+type Determinism struct {
+	// Packages lists the import paths under the invariant.
+	Packages []string
+}
+
+func (*Determinism) Name() string { return "determinism" }
+func (*Determinism) Doc() string {
+	return "forbid time.Now/Sleep and global math/rand in science packages (use hpc.Clock / xrand.RNG)"
+}
+func (*Determinism) Directive() string { return "wallclock" }
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// schedule against the wall clock. Duration arithmetic and constants
+// (time.Second, time.Duration) stay legal — they carry no clock.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "schedules against the wall clock",
+	"After":     "schedules against the wall clock",
+	"Tick":      "schedules against the wall clock",
+	"NewTimer":  "schedules against the wall clock",
+	"NewTicker": "schedules against the wall clock",
+	"AfterFunc": "schedules against the wall clock",
+}
+
+// randPkgs are the globally-seeded random sources.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+func (a *Determinism) Run(pass *Pass) {
+	if !pathInList(pass.Pkg.Path, a.Packages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); {
+			case path == "time":
+				if why, bad := forbiddenTimeFuncs[sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(),
+						"time.%s %s; science packages must take time from hpc.Clock so simulated and real runs stay identical",
+						sel.Sel.Name, why)
+				}
+			case randPkgs[path]:
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from a global, nondeterministically-shared stream; use a per-stage xrand.RNG derived from the campaign seed",
+					ident.Name, sel.Sel.Name)
+			}
+			return true
+		})
+		// A dot- or blank-import of math/rand evades the selector walk;
+		// flag the import itself.
+		for _, imp := range f.Imports {
+			if randPkgs[importString(imp)] && imp.Name != nil &&
+				(imp.Name.Name == "." || imp.Name.Name == "_") {
+				pass.Reportf(imp.Pos(),
+					"import of %s into a science package; use xrand.RNG streams instead", importString(imp))
+			}
+		}
+	}
+}
+
+// importString unquotes an import spec's path.
+func importString(imp *ast.ImportSpec) string {
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		s = s[1 : len(s)-1]
+	}
+	return s
+}
+
+// pathInList reports whether the import path is an exact entry of the
+// governed list.
+func pathInList(path string, list []string) bool {
+	for _, p := range list {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

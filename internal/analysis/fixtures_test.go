@@ -1,0 +1,69 @@
+package analysis
+
+import "testing"
+
+// Each analyzer runs over its fixture package under testdata/src; the
+// fixture's // want comments are the expected-diagnostic oracle and
+// every fixture also carries suppressed sites that must stay silent.
+
+func checkFixture(t *testing.T, pattern string, analyzers ...Analyzer) {
+	t.Helper()
+	for _, problem := range CheckFixture("testdata/src", pattern, analyzers...) {
+		t.Error(problem)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, "determ", &Determinism{Packages: []string{"fix/determ"}})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockfix", &LockOrder{Order: []MutexRef{
+		{Type: "fix/lockfix.sched", Field: "mu"},
+		{Type: "fix/lockfix.jb", Field: "mu"},
+		{Type: "fix/lockfix.bus", Field: "mu"},
+	}})
+}
+
+func TestJournalBeforeFixture(t *testing.T) {
+	checkFixture(t, "journalfix", &JournalBefore{
+		Packages:       []string{"fix/journalfix"},
+		StateType:      "fix/journalfix.job",
+		StateField:     "state",
+		StateValueType: "fix/journalfix.JobState",
+		Terminal:       []string{"StateDone", "StateFailed", "StateCanceled"},
+		JournalCalls:   []string{"record", "recordBatch", "append", "appendBatch"},
+	})
+}
+
+func TestMetricsDeclFixture(t *testing.T) {
+	checkFixture(t, "metricfix", &MetricsDecl{RegistryType: "fix/metricfix.Registry"})
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	checkFixture(t, "mapfix", &MapOrder{Packages: []string{"fix/mapfix"}})
+}
+
+// TestFixturesTogether runs the full fixture tree through the
+// combined, fixture-configured suite in one load, proving analyzers
+// do not fire outside their governed packages.
+func TestFixturesTogether(t *testing.T) {
+	checkFixture(t, "./...",
+		&Determinism{Packages: []string{"fix/determ"}},
+		&LockOrder{Order: []MutexRef{
+			{Type: "fix/lockfix.sched", Field: "mu"},
+			{Type: "fix/lockfix.jb", Field: "mu"},
+			{Type: "fix/lockfix.bus", Field: "mu"},
+		}},
+		&JournalBefore{
+			Packages:       []string{"fix/journalfix"},
+			StateType:      "fix/journalfix.job",
+			StateField:     "state",
+			StateValueType: "fix/journalfix.JobState",
+			Terminal:       []string{"StateDone", "StateFailed", "StateCanceled"},
+			JournalCalls:   []string{"record", "recordBatch", "append", "appendBatch"},
+		},
+		&MetricsDecl{RegistryType: "fix/metricfix.Registry"},
+		&MapOrder{Packages: []string{"fix/mapfix"}},
+	)
+}

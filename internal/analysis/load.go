@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis. Test files (_test.go) are excluded: the invariants govern
+// shipped code, and tests legitimately use wall clocks and sleeps.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-checking problems. The
+	// analyzers degrade gracefully on partial type information, so
+	// these are surfaced, not fatal.
+	TypeErrors []error
+
+	// directives maps filename → line → suppression keywords.
+	directives map[string]map[int][]string
+}
+
+// Loader parses and type-checks packages of one module from source.
+// Module-internal imports resolve through the loader itself
+// (memoized); everything else — the standard library — resolves
+// through go/importer's source importer, so the whole pipeline needs
+// no compiled export data and no child processes.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModDir  string // module root directory
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader locates the enclosing module of dir (walking up to the
+// go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  root,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+	}, nil
+}
+
+// Load resolves package patterns to packages. A pattern is a
+// directory (absolute or relative to the loader's module root), an
+// import path within the module, or either followed by /... for a
+// recursive walk. testdata and hidden directories are never walked.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var out []*Package
+	seen := map[string]bool{}
+	add := func(dir string) error {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return err
+		}
+		if pkg != nil && !seen[pkg.Path] {
+			seen[pkg.Path] = true
+			out = append(out, pkg)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := l.patternDir(pat)
+		if recursive {
+			err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return add(p)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(dir); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// patternDir maps one non-recursive pattern to a directory.
+func (l *Loader) patternDir(pat string) string {
+	switch {
+	case pat == "" || pat == ".":
+		return l.ModDir
+	case filepath.IsAbs(pat):
+		return pat
+	case pat == l.ModPath:
+		return l.ModDir
+	case strings.HasPrefix(pat, l.ModPath+"/"):
+		return filepath.Join(l.ModDir, strings.TrimPrefix(pat, l.ModPath+"/"))
+	default:
+		return filepath.Join(l.ModDir, pat)
+	}
+}
+
+// importPath maps a directory under the module root to its import path.
+func (l *Loader) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModDir)
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir, memoized. A
+// directory with no non-test Go files yields (nil, nil).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files}
+	// Memoize before type-checking: an import cycle then terminates
+	// with partial types instead of recursing forever.
+	l.pkgs[path] = pkg
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never hard-fails here: with an Error handler installed it
+	// type-checks as much as it can, and the analyzers are written
+	// against partial information.
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	pkg.directives = collectDirectives(l.Fset, files)
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the loader, everything else through the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.loadDir(l.patternDir(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil || pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: no Go package at %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// collectDirectives indexes every //impeccable: comment by file and line.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kw := parseDirective(c.Text)
+				if kw == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], kw)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MutexRef names one declared mutex: a field of a named type.
+type MutexRef struct {
+	Type  string // fully qualified named type, "pkgpath.TypeName"
+	Field string // the sync.Mutex/RWMutex field
+}
+
+// short returns the human name used in diagnostics ("scheduler.mu").
+func (m MutexRef) short() string {
+	t := m.Type
+	if i := strings.LastIndexByte(t, '.'); i >= 0 {
+		t = t[i+1:]
+	}
+	return t + "." + m.Field
+}
+
+// LockOrder proves that the declared mutexes are only ever acquired
+// in their fixed nesting order (outermost first). A misordered pair —
+// goroutine A holding the job lock while taking the scheduler lock,
+// goroutine B doing the reverse — deadlocks only under production
+// interleavings that no test schedule reliably provokes; the order is
+// therefore a declared invariant checked at the source level.
+//
+// The check is flow-approximate: within each function, Lock/Unlock
+// calls on declared mutexes are tracked in statement order (branch
+// bodies are analyzed against a copy of the held set, so early-unlock
+// returns stay precise), and every static call is checked against the
+// callee's transitive acquisition summary, computed to a fixed point
+// over the package's call graph. Goroutine launches start with an
+// empty held set. False positives are suppressed, with justification,
+// via //impeccable:lockorder.
+type LockOrder struct {
+	// Order lists the declared mutexes outermost first: a function may
+	// only acquire a mutex that is strictly deeper than every mutex it
+	// already holds.
+	Order []MutexRef
+}
+
+func (*LockOrder) Name() string { return "lockorder" }
+func (*LockOrder) Doc() string {
+	return "prove the declared mutex partial order (scheduler → job → bus) is never inverted"
+}
+func (*LockOrder) Directive() string { return "lockorder" }
+
+// lockMethods classifies the sync.Mutex/RWMutex methods.
+var lockMethods = map[string]bool{ // method → acquires
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": false, "RUnlock": false,
+}
+
+func (a *LockOrder) Run(pass *Pass) {
+	if len(a.Order) == 0 {
+		return
+	}
+	// Only packages that can even name a declared mutex are analyzed.
+	relevant := false
+	for _, m := range a.Order {
+		if pkgOf(m.Type) == pass.Pkg.Path {
+			relevant = true
+		}
+	}
+	if !relevant {
+		return
+	}
+	w := &lockWalker{pass: pass, order: a.Order, summaries: map[*types.Func]levelSet{}}
+	w.collectDecls()
+	for _, fd := range w.decls {
+		w.walkFunc(fd.Body, newHeld())
+	}
+	for _, fl := range w.lits {
+		w.walkFunc(fl.Body, newHeld())
+	}
+}
+
+// pkgOf splits "pkgpath.TypeName" into its package path.
+func pkgOf(qualified string) string {
+	if i := strings.LastIndexByte(qualified, '.'); i >= 0 {
+		return qualified[:i]
+	}
+	return qualified
+}
+
+// levelSet is the set of declared-mutex levels a function may acquire.
+type levelSet map[int]bool
+
+// held tracks the mutexes currently held on the walked path.
+type held struct{ levels map[int]bool }
+
+func newHeld() *held { return &held{levels: map[int]bool{}} }
+func (h *held) copy() *held {
+	c := newHeld()
+	for l := range h.levels {
+		c.levels[l] = true
+	}
+	return c
+}
+func (h *held) innermost() (int, bool) {
+	best, ok := -1, false
+	for l := range h.levels {
+		if l > best {
+			best, ok = l, true
+		}
+	}
+	return best, ok
+}
+
+type lockWalker struct {
+	pass      *Pass
+	order     []MutexRef
+	decls     []*ast.FuncDecl
+	lits      []*ast.FuncLit
+	funcDecls map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]levelSet
+	onStack   map[*types.Func]bool
+}
+
+// collectDecls indexes the package's function declarations and the
+// function literals that run as their own goroutines or callbacks
+// (each is analyzed with an empty held set).
+func (w *lockWalker) collectDecls() {
+	w.funcDecls = map[*types.Func]*ast.FuncDecl{}
+	for _, f := range w.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.decls = append(w.decls, fd)
+			if obj, ok := w.pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				w.funcDecls[obj] = fd
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w.lits = append(w.lits, fl)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mutexCall resolves a call to Lock/Unlock/... on a declared mutex.
+func (w *lockWalker) mutexCall(call *ast.CallExpr) (level int, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false, false
+	}
+	acquires, known := lockMethods[sel.Sel.Name]
+	if !known {
+		return 0, false, false
+	}
+	field, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false, false
+	}
+	t := w.pass.Pkg.Info.TypeOf(field.X)
+	if t == nil {
+		return 0, false, false
+	}
+	for {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return 0, false, false
+	}
+	qualified := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for i, m := range w.order {
+		if m.Type == qualified && m.Field == field.Sel.Name {
+			return i, acquires, true
+		}
+	}
+	return 0, false, false
+}
+
+// callee resolves a static call to an in-package declared function.
+func (w *lockWalker) callee(call *ast.CallExpr) (*types.Func, *ast.FuncDecl) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = w.pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := w.pass.Pkg.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = w.pass.Pkg.Info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	fd, ok := w.funcDecls[fn]
+	if !ok {
+		return nil, nil
+	}
+	return fn, fd
+}
+
+// summary computes (to a fixed point) the set of declared-mutex levels
+// fn may acquire, directly or through in-package callees.
+func (w *lockWalker) summary(fn *types.Func, fd *ast.FuncDecl) levelSet {
+	if s, ok := w.summaries[fn]; ok {
+		return s
+	}
+	if w.onStack == nil {
+		w.onStack = map[*types.Func]bool{}
+	}
+	if w.onStack[fn] {
+		return levelSet{} // recursion: the cycle's effects are already accumulating
+	}
+	w.onStack[fn] = true
+	defer delete(w.onStack, fn)
+	s := levelSet{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals run on their own schedule
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if level, acquires, isMutex := w.mutexCall(call); isMutex {
+			if acquires {
+				s[level] = true
+			}
+			return true
+		}
+		if cfn, cfd := w.callee(call); cfn != nil {
+			for l := range w.summary(cfn, cfd) {
+				s[l] = true
+			}
+		}
+		return true
+	})
+	w.summaries[fn] = s
+	return s
+}
+
+// walkFunc abstractly interprets one function body.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt, h *held) {
+	if body == nil {
+		return
+	}
+	w.stmts(body.List, h)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, h *held) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, h *held) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		w.calls(s.Cond, h)
+		w.stmts(s.Body.List, h.copy())
+		if s.Else != nil {
+			w.stmt(s.Else, h.copy())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		c := h.copy()
+		if s.Cond != nil {
+			w.calls(s.Cond, c)
+		}
+		w.stmts(s.Body.List, c)
+		if s.Post != nil {
+			w.stmt(s.Post, c)
+		}
+	case *ast.RangeStmt:
+		w.calls(s.X, h)
+		w.stmts(s.Body.List, h.copy())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Tag != nil {
+			w.calls(s.Tag, h)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.copy())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, h.copy())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				cp := h.copy()
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, cp)
+				}
+				w.stmts(cc.Body, cp)
+			}
+		}
+	case *ast.GoStmt:
+		// A new goroutine starts with nothing held; only its argument
+		// expressions evaluate on this one.
+		for _, arg := range s.Call.Args {
+			w.calls(arg, h)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return: from here on the mutex
+		// is held for the rest of the function, which is exactly what
+		// leaving it in the held set models. Other deferred work runs
+		// under an unknowable held set; only its arguments are checked.
+		if level, acquires, ok := w.mutexCall(s.Call); ok && !acquires {
+			_ = level // deliberately kept held
+			return
+		}
+		for _, arg := range s.Call.Args {
+			w.calls(arg, h)
+		}
+	default:
+		w.calls(s, h)
+	}
+}
+
+// calls processes every call expression under n (skipping function
+// literals) against the current held set.
+func (w *lockWalker) calls(n ast.Node, h *held) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if level, acquires, isMutex := w.mutexCall(call); isMutex {
+			if acquires {
+				w.acquire(call, level, h)
+			} else {
+				delete(h.levels, level)
+			}
+			return true
+		}
+		if cfn, cfd := w.callee(call); cfn != nil {
+			inner, anyHeld := h.innermost()
+			if !anyHeld {
+				return true
+			}
+			for l := range w.summary(cfn, cfd) {
+				if l <= inner {
+					w.pass.Reportf(call.Pos(),
+						"call to %s acquires %s while %s is held: declared order is %s",
+						cfn.Name(), w.order[l].short(), w.order[inner].short(), w.orderString())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// acquire checks one direct Lock against the held set.
+func (w *lockWalker) acquire(call *ast.CallExpr, level int, h *held) {
+	if inner, anyHeld := h.innermost(); anyHeld && level <= inner {
+		if level == inner {
+			w.pass.Reportf(call.Pos(),
+				"acquires %s while an instance of it is already held (self-deadlock or unordered same-level pair)",
+				w.order[level].short())
+		} else {
+			w.pass.Reportf(call.Pos(),
+				"acquires %s while holding %s: declared order is %s",
+				w.order[level].short(), w.order[inner].short(), w.orderString())
+		}
+	}
+	h.levels[level] = true
+}
+
+// orderString renders the declared order for diagnostics.
+func (w *lockWalker) orderString() string {
+	parts := make([]string, len(w.order))
+	for i, m := range w.order {
+		parts[i] = m.short()
+	}
+	return fmt.Sprintf("%s (outermost first)", strings.Join(parts, " → "))
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range-over-map loops in science packages whose
+// bodies build ordered output — appending to a slice or writing to a
+// stream. Go randomizes map iteration order per run, so such a loop
+// produces a different sequence every execution: the one failure mode
+// the golden-funnel tests catch only when they happen to get unlucky.
+// A loop whose collected output is sorted immediately afterwards is
+// exempt; genuinely order-free loops (pure reductions are not flagged;
+// anything else) carry //impeccable:unordered with a justification.
+type MapOrder struct {
+	// Packages lists the import paths under the invariant.
+	Packages []string
+}
+
+func (*MapOrder) Name() string { return "maporder" }
+func (*MapOrder) Doc() string {
+	return "map-range loops that build ordered output must sort it (iteration order is randomized)"
+}
+func (*MapOrder) Directive() string { return "unordered" }
+
+func (a *MapOrder) Run(pass *Pass) {
+	if !pathInList(pass.Pkg.Path, a.Packages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.walkStmtLists(pass, info, fd.Body)
+		}
+	}
+}
+
+// walkStmtLists visits every statement list in the function so each
+// range statement is seen together with its following sibling (the
+// sort-after exemption).
+func (a *MapOrder) walkStmtLists(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			rng, ok := s.(*ast.RangeStmt)
+			if !ok || !rangesOverMap(info, rng) {
+				continue
+			}
+			what, found := orderedOutput(info, rng.Body)
+			if !found {
+				continue
+			}
+			if i+1 < len(list) && isSortCall(info, list[i+1]) {
+				continue
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is randomized per run but this loop %s; sort the collected output after the loop", what)
+		}
+		return true
+	})
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderedOutput scans a loop body for order-sensitive effects:
+// appends and stream writes.
+func orderedOutput(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	what, found := "", false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" {
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+					what, found = "appends to a slice", true
+				}
+			}
+		case *ast.SelectorExpr:
+			if pkg, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := info.Uses[pkg].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+					name := fun.Sel.Name
+					if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+						what, found = "writes formatted output", true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return what, found
+}
+
+// isSortCall reports whether the statement is a call into package sort.
+func isSortCall(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		p := pn.Imported().Path()
+		return p == "sort" || p == "slices"
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MetricsDecl lifts the obs exposition's scrape-time validation to the
+// source level: every metric registered on an obs.Registry with a
+// constant name must satisfy the Prometheus metric-name grammar, its
+// label names the label grammar, and no two registration sites in one
+// package may claim the same name. The running server already rejects
+// these at scrape time (obs.Validate via cluster-smoke); this analyzer
+// rejects them before the code ships, where the fix is a one-line
+// rename instead of a red smoke run.
+type MetricsDecl struct {
+	// RegistryType is the qualified registry type ("pkgpath.Registry").
+	RegistryType string
+	// Methods maps registration method names to the argument index at
+	// which label names start (-1: the method takes no label names).
+	Methods map[string]int
+}
+
+// defaultMetricMethods covers the obs.Registry surface.
+func defaultMetricMethods() map[string]int {
+	return map[string]int{
+		"Counter": -1, "Gauge": -1, "GaugeFunc": -1, "Histogram": -1,
+		"CounterVec": 2, "GaugeVec": 2, "HistogramVec": 3,
+	}
+}
+
+func (*MetricsDecl) Name() string { return "metricsdecl" }
+func (*MetricsDecl) Doc() string {
+	return "metric registrations must use valid, package-unique Prometheus names and label names"
+}
+func (*MetricsDecl) Directive() string { return "metricname" }
+
+func (a *MetricsDecl) Run(pass *Pass) {
+	methods := a.Methods
+	if methods == nil {
+		methods = defaultMetricMethods()
+	}
+	info := pass.Pkg.Info
+	firstSite := map[string]token.Position{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := methods[sel.Sel.Name]
+			if !ok || !a.isRegistry(info, sel.X) || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(info, call.Args[0])
+			if !ok {
+				return true // dynamic name: the scrape-time validator owns it
+			}
+			if !validMetricName(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q violates the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*", name)
+			} else if prev, dup := firstSite[name]; dup {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q collides with the registration at %s: names must be unique within the package", name, prev)
+			} else {
+				firstSite[name] = pass.Pkg.Fset.Position(call.Args[0].Pos())
+			}
+			if labelStart >= 0 {
+				for _, arg := range call.Args[labelStart:] {
+					label, ok := constString(info, arg)
+					if !ok {
+						continue
+					}
+					if !validLabelName(label) {
+						pass.Reportf(arg.Pos(),
+							"label name %q violates the Prometheus grammar [a-zA-Z_][a-zA-Z0-9_]*", label)
+					} else if strings.HasPrefix(label, "__") {
+						pass.Reportf(arg.Pos(),
+							"label name %q uses the reserved __ prefix", label)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isRegistry reports whether the receiver is the configured registry
+// type (behind any number of pointers).
+func (a *MetricsDecl) isRegistry(info *types.Info, recv ast.Expr) bool {
+	t := info.TypeOf(recv)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == a.RegistryType
+}
+
+// constString evaluates an expression to a compile-time string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// validMetricName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

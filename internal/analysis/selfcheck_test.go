@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// TestRepositoryIsVetClean is the in-tree mirror of the CI gate: the
+// default suite over the whole module must load with full type
+// information and report zero unsuppressed findings. A red run here
+// means either a real invariant violation or a site that needs a
+// justified //impeccable: directive.
+func TestRepositoryIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.ModPath + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

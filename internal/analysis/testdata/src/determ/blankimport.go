@@ -1,0 +1,5 @@
+package determ
+
+import (
+	_ "math/rand" // want "import of math/rand into a science package"
+)

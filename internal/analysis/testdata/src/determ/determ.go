@@ -1,0 +1,39 @@
+// Package determ seeds one violation per determinism rule plus a
+// suppressed site, as fixture input for the determinism analyzer.
+package determ
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "time.Sleep schedules against the wall clock"
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "time.Since reads the wall clock"
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want "rand.Intn draws from a global"
+}
+
+// durationsAreFine exercises the allowed parts of package time: bare
+// durations and constants carry no clock and must not be flagged.
+func durationsAreFine(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+func suppressedWallClock() time.Time {
+	//impeccable:wallclock fixture: justified operational read
+	return time.Now()
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //impeccable:wallclock fixture: justified operational read
+}

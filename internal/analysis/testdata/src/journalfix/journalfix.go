@@ -1,0 +1,59 @@
+// Package journalfix seeds journal-before-apply violations: terminal
+// job-state writes with and without a preceding journal append.
+package journalfix
+
+type JobState int
+
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+type job struct {
+	state JobState
+	note  string
+}
+
+type store struct{ events []JobState }
+
+func (st *store) record(s JobState)        { st.events = append(st.events, s) }
+func (st *store) recordBatch(s []JobState) { st.events = append(st.events, s...) }
+
+// compliant journals before applying the terminal state.
+func compliant(st *store, j *job) {
+	st.record(StateDone)
+	j.state = StateDone
+}
+
+// unjournaled applies a terminal state with no journal append in sight.
+func unjournaled(j *job) {
+	j.state = StateFailed // want "terminal state write without a preceding journal append"
+}
+
+// nonTerminal writes are always fine.
+func nonTerminal(j *job) {
+	j.state = StateRunning
+}
+
+// dynamic assigns a computed state: possibly terminal, so the journal
+// must already hold the event.
+func dynamic(j *job, next JobState) {
+	j.state = next // want "possibly-.*terminal state write without a preceding journal append"
+}
+
+// builtinAppendIsNotAJournal guards the builtin/method name collision:
+// append(slice, ...) must not count as a journal call even though the
+// journal's writer method is also named append.
+func builtinAppendIsNotAJournal(j *job, xs []int) []int {
+	xs = append(xs, 1)
+	j.state = StateCanceled // want "terminal state write without a preceding journal append"
+	return xs
+}
+
+// suppressed carries a justified exception.
+func suppressed(j *job) {
+	j.state = StateCanceled //impeccable:unjournaled fixture: justified exception
+}

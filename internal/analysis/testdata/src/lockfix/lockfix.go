@@ -1,0 +1,95 @@
+// Package lockfix seeds mutex-order violations against the declared
+// fixture order sched.mu → jb.mu → bus.mu (outermost first).
+package lockfix
+
+import "sync"
+
+type sched struct {
+	mu   sync.Mutex
+	jobs []*jb
+}
+
+type jb struct {
+	mu   sync.Mutex
+	bus  *bus
+	done bool
+}
+
+type bus struct {
+	mu   sync.RWMutex
+	subs int
+}
+
+// compliant takes the locks strictly outermost-first.
+func compliant(s *sched, j *jb) {
+	s.mu.Lock()
+	j.mu.Lock()
+	j.bus.mu.Lock()
+	j.bus.mu.Unlock()
+	j.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// inverted takes the scheduler lock while holding a job lock.
+func inverted(s *sched, j *jb) {
+	j.mu.Lock()
+	s.mu.Lock() // want "acquires sched.mu while holding jb.mu"
+	s.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// sameLevel re-acquires a held level: a self-deadlock on one instance,
+// an undeclared ordering on two.
+func sameLevel(a, b *jb) {
+	a.mu.Lock()
+	b.mu.Lock() // want "while an instance of it is already held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockScheduler is the transitive half of the indirect inversion below.
+func lockScheduler(s *sched) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// indirect inverts the order through a callee: the report lands on the
+// call, attributed to the callee's transitive acquisition summary.
+func indirect(s *sched, j *jb) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lockScheduler(s) // want "call to lockScheduler acquires sched.mu while jb.mu is held"
+}
+
+// earlyUnlock releases before taking the outer lock on the other
+// branch; branch-local held sets keep this precise.
+func earlyUnlock(s *sched, j *jb, flip bool) {
+	j.mu.Lock()
+	if flip {
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+}
+
+// goroutineFresh hands the inverted pair to a new goroutine, which
+// starts with an empty held set: no violation.
+func goroutineFresh(s *sched, j *jb) {
+	j.mu.Lock()
+	go func() {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}()
+	j.mu.Unlock()
+}
+
+// suppressed carries a justified inversion.
+func suppressed(s *sched, j *jb) {
+	j.mu.Lock()
+	//impeccable:lockorder fixture: justified inversion
+	s.mu.Lock()
+	s.mu.Unlock()
+	j.mu.Unlock()
+}

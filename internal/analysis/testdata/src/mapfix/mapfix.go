@@ -1,0 +1,55 @@
+// Package mapfix seeds map-iteration-order violations: range-over-map
+// loops that build ordered output with and without a sort after.
+package mapfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// unsortedAppend collects map keys in randomized order.
+func unsortedAppend(scores map[string]float64) []string {
+	var names []string
+	for name := range scores { // want "map iteration order is randomized"
+		names = append(names, name)
+	}
+	return names
+}
+
+// printed writes map entries straight to a stream.
+func printed(w io.Writer, scores map[string]float64) {
+	for name, s := range scores { // want "map iteration order is randomized"
+		fmt.Fprintf(w, "%s %g\n", name, s)
+	}
+}
+
+// sortedAfter is exempt: the collected output is sorted immediately
+// after the loop.
+func sortedAfter(scores map[string]float64) []string {
+	var names []string
+	for name := range scores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// reduction is order-free: commutative accumulation only.
+func reduction(scores map[string]float64) float64 {
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum
+}
+
+// suppressed carries a justified order-free append.
+func suppressed(scores map[string]float64) []string {
+	var names []string
+	//impeccable:unordered fixture: consumer treats this as a set
+	for name := range scores {
+		names = append(names, name)
+	}
+	return names
+}

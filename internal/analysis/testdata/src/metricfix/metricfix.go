@@ -1,0 +1,29 @@
+// Package metricfix seeds metric-declaration violations against a
+// fixture Registry mirroring the obs.Registry surface.
+package metricfix
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string)                                           {}
+func (r *Registry) Gauge(name, help string)                                             {}
+func (r *Registry) Histogram(name, help string, buckets []float64)                      {}
+func (r *Registry) CounterVec(name, help string, labels ...string)                      {}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) {}
+
+func register(r *Registry) {
+	r.Counter("jobs_total", "completed jobs")
+	r.Counter("jobs-total", "bad name")                            // want "violates the Prometheus grammar"
+	r.Gauge("jobs_total", "collides")                              // want "collides with the registration at"
+	r.CounterVec("pops_total", "pops by stage", "stage", "0stage") // want "label name .0stage. violates the Prometheus grammar"
+	r.CounterVec("acks_total", "acks", "__reserved")               // want "uses the reserved __ prefix"
+	r.HistogramVec("latency_seconds", "latency", []float64{1, 2}, "stage")
+
+	// A computed name belongs to the scrape-time validator, not this
+	// analyzer.
+	dyn := "a" + "b"
+	r.Counter(dyn+"_total", "dynamic")
+}
+
+func suppressed(r *Registry) {
+	r.Counter("legacy-name", "grandfathered") //impeccable:metricname fixture: grandfathered name
+}

@@ -225,20 +225,20 @@ type funnelClock struct {
 }
 
 func newFunnelClock() *funnelClock {
-	now := time.Now()
+	now := time.Now() //impeccable:wallclock stage timings are observability, excluded from science Counts()
 	return &funnelClock{t0: now, last: now, open: map[string]time.Time{}}
 }
 
 // start opens a stage window.
 func (c *funnelClock) start(stage string) {
 	c.mu.Lock()
-	c.open[stage] = time.Now()
+	c.open[stage] = time.Now() //impeccable:wallclock stage timings are observability, excluded from science Counts()
 	c.mu.Unlock()
 }
 
 // stop closes a stage window opened by start.
 func (c *funnelClock) stop(stage string) {
-	now := time.Now()
+	now := time.Now() //impeccable:wallclock stage timings are observability, excluded from science Counts()
 	c.mu.Lock()
 	if at, ok := c.open[stage]; ok {
 		delete(c.open, stage)
@@ -255,7 +255,7 @@ func (c *funnelClock) stop(stage string) {
 // now — the boundary-only instrumentation the EnTK path uses, where
 // stage starts are not directly hookable.
 func (c *funnelClock) mark(stage string) {
-	now := time.Now()
+	now := time.Now() //impeccable:wallclock stage timings are observability, excluded from science Counts()
 	c.mu.Lock()
 	c.sp = append(c.sp, StageTiming{
 		Stage:   stage,
@@ -272,7 +272,7 @@ func (c *funnelClock) finish(f *FunnelStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f.Timings = append([]StageTiming(nil), c.sp...)
-	f.WallSeconds = time.Since(c.t0).Seconds()
+	f.WallSeconds = time.Since(c.t0).Seconds() //impeccable:wallclock wall-clock total is the quantity being reported
 	var sum float64
 	for _, s := range c.sp {
 		sum += s.Seconds

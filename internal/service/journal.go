@@ -261,18 +261,18 @@ func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 			j.leaseToken = ""
 			j.started = time.Time{}
 		case evDone:
-			j.state = StateDone
+			j.state = StateDone //impeccable:unjournaled replay applies states read from the journal itself
 			j.finished = ev.Time
 			j.progress = 1
 			if ev.Summary != nil {
 				j.result = &jobResult{summary: *ev.Summary}
 			}
 		case evFailed:
-			j.state = StateFailed
+			j.state = StateFailed //impeccable:unjournaled replay applies states read from the journal itself
 			j.finished = ev.Time
 			j.err = ev.Error
 		case evCanceled:
-			j.state = StateCanceled
+			j.state = StateCanceled //impeccable:unjournaled replay applies states read from the journal itself
 			j.finished = ev.Time
 		}
 	}

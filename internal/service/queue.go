@@ -501,7 +501,7 @@ func (s *scheduler) execute(j *job) {
 	s.run(j)
 	j.mu.Lock()
 	if !j.state.Terminal() {
-		j.state = StateDone
+		j.state = StateDone //impeccable:unjournaled execute journals after the run so drain interruptions rerun instead of acking
 	}
 	// The run function sets the terminal state directly; diff the
 	// counters here so they track whatever it chose.
@@ -1152,7 +1152,7 @@ func (s *scheduler) shutdown() {
 		switch j.state {
 		case StateQueued:
 			s.countMove(StateQueued, StateCanceled)
-			j.state = StateCanceled
+			j.state = StateCanceled //impeccable:unjournaled drain keeps interrupted jobs in-flight in the journal for rerun
 			j.finished = time.Now()
 			j.drainCanceled = true
 		case StateRunning:

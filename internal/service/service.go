@@ -400,9 +400,9 @@ func (s *Service) runJob(j *job) {
 	j.mu.Lock()
 	switch {
 	case errors.Is(err, campaign.ErrCanceled):
-		j.state = StateCanceled
+		j.state = StateCanceled //impeccable:unjournaled in-process runner journals once after the run settles
 	case err != nil:
-		j.state = StateFailed
+		j.state = StateFailed //impeccable:unjournaled in-process runner journals once after the run settles
 		j.err = err.Error()
 	default:
 		j.progress = 1

@@ -30,8 +30,10 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries"
-go build -o "$BIN/impeccable-server" ./cmd/impeccable-server
-go build -o "$BIN/impeccable-worker" ./cmd/impeccable-worker
+# The long-lived processes run under the race detector: the smoke's
+# kill/retry interleavings are exactly where a data race would hide.
+go build -race -o "$BIN/impeccable-server" ./cmd/impeccable-server
+go build -race -o "$BIN/impeccable-worker" ./cmd/impeccable-worker
 go build -o "$BIN/metrics-lint" ./cmd/metrics-lint
 
 # scrape_metrics NAME: fetch /metrics, save it beside the logs, and
