@@ -32,8 +32,12 @@ import (
 const (
 	// streamChunk is the ML1 scoring granularity: small enough that
 	// worker load stays balanced and candidates reach the dock feed
-	// early, large enough that the forward pass stays batched.
-	streamChunk = 128
+	// early, large enough that the forward pass stays batched. 256 rows
+	// amortize the blocked kernels' per-call setup (finite scan, row
+	// partitioning) better than the previous 128 while still draining
+	// a chunk well under the docking cadence; scores are chunk-size
+	// independent (row-independent forward), so science is unaffected.
+	streamChunk = 256
 	// streamBacklog bounds every pipeline channel (scored chunks,
 	// docking candidates, docking results), so a stalled consumer
 	// backpressures the producer instead of buffering the library.

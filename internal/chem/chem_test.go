@@ -385,3 +385,27 @@ func BenchmarkConformerApply(b *testing.B) {
 		buf = c.Apply(geom.Vec3{X: 1}, q, angles, buf)
 	}
 }
+
+// TestFeatureVectorInto: the in-place featurizer must fully overwrite a
+// dirty destination with exactly FeatureVector's output, and reject
+// wrong-length buffers.
+func TestFeatureVectorInto(t *testing.T) {
+	m := FromID(424242)
+	want := m.FeatureVector()
+	dst := make([]float64, FeatureDim)
+	for i := range dst {
+		dst[i] = -7 // stale arena contents
+	}
+	m.FeatureVectorInto(dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("element %d: %v, want %v", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FeatureVectorInto accepted a wrong-length buffer")
+		}
+	}()
+	m.FeatureVectorInto(make([]float64, FeatureDim-1))
+}

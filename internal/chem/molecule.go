@@ -139,10 +139,23 @@ func (m *Molecule) String() string {
 // [fingerprint bits (0/1)..., MW/500, logP/5, HBD/5, HBA/10, TPSA/150,
 // RotBonds/10, Rings/5, HeavyAtoms/40].
 func (m *Molecule) FeatureVector() []float64 {
-	v := make([]float64, FingerprintBits+8)
+	v := make([]float64, FeatureDim)
+	m.FeatureVectorInto(v)
+	return v
+}
+
+// FeatureVectorInto writes the feature vector into v (length FeatureDim),
+// overwriting every element, so batched inference can featurize directly
+// into reused kernel input buffers. Panics if len(v) != FeatureDim.
+func (m *Molecule) FeatureVectorInto(v []float64) {
+	if len(v) != FeatureDim {
+		panic(fmt.Sprintf("chem: FeatureVectorInto dst length %d, want %d", len(v), FeatureDim))
+	}
 	for i := 0; i < FingerprintBits; i++ {
 		if m.fp.Bit(i) {
 			v[i] = 1
+		} else {
+			v[i] = 0
 		}
 	}
 	d := m.Desc
@@ -154,7 +167,6 @@ func (m *Molecule) FeatureVector() []float64 {
 	v[FingerprintBits+5] = float64(d.RotBonds) / 10
 	v[FingerprintBits+6] = float64(d.Rings) / 5
 	v[FingerprintBits+7] = float64(d.HeavyAtoms) / 40
-	return v
 }
 
 // FeatureDim is the length of FeatureVector.

@@ -1,0 +1,297 @@
+// kernels.go holds the blocked, goroutine-parallel matmul kernels behind
+// the public MatMul family. The design constraints, in order:
+//
+//  1. Bit-identity: every output element is produced by a single
+//     accumulator chain that adds terms in exactly the reference
+//     kernel's order (see kernels_ref.go), so blocking and parallelism
+//     never perturb a result. Register blocking only changes *which*
+//     loads are shared, never the per-element summation order, and the
+//     row-parallel path assigns each output element to exactly one
+//     goroutine.
+//  2. IEEE semantics: a zero multiplier may only be skipped when the
+//     other operand panel is entirely finite (0·NaN = NaN, 0·±Inf =
+//     NaN). The panel is scanned once per call — O(len) against the
+//     O(R·len) multiply — so sparse fingerprint rows keep their fast
+//     path without silently dropping NaN/Inf propagation.
+//  3. Determinism: parallelism is a pure row partition; no atomics, no
+//     reductions across goroutines, no scheduling-order dependence.
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// kernelParallelFlops is the minimum number of multiply-adds a goroutine
+// must amortize before the kernels fan out. Below ~10⁵ the WaitGroup
+// and scheduling overhead beats the win on every core count we target.
+const kernelParallelFlops = 1 << 17
+
+// kernelWorkers sizes the goroutine fan-out for a kernel processing
+// `units` independent slices of `flops` total multiply-adds.
+func kernelWorkers(units int, flops int64) int {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 || flops < 2*kernelParallelFlops {
+		return 1
+	}
+	w := int(flops / kernelParallelFlops)
+	if w > p {
+		w = p
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelRanges splits [0, n) into `w` contiguous ranges and invokes fn
+// on each, concurrently when w > 1. fn must touch only its own range, so
+// the result is deterministic regardless of scheduling.
+func parallelRanges(n, w int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// allFinite reports whether every element of v is finite. v-v is 0 for
+// finite values and NaN for NaN and ±Inf, so one subtraction replaces
+// two classification calls in the scan.
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if x-x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMulInto computes dst = a·b, overwriting dst (shape a.R×b.C). dst
+// must not alias a or b. It is the allocation-free form of MatMul; see
+// the package doc in this file for the bit-identity contract.
+func MatMulInto(dst, a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	if dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("nn: MatMulInto dst %dx%d, want %dx%d", dst.R, dst.C, a.R, b.C))
+	}
+	// Zero multipliers from a may be skipped only while b is all-finite.
+	skipZero := allFinite(b.V)
+	w := kernelWorkers(a.R, int64(a.R)*int64(a.C)*int64(b.C))
+	parallelRanges(a.R, w, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi, skipZero)
+	})
+	return dst
+}
+
+// matMulRows computes dst rows [lo, hi) with a 4-row register block:
+// four rows of a share each b-row load, while every dst element keeps
+// its own accumulator summing over k in reference order.
+func matMulRows(dst, a, b *Mat, lo, hi int, skipZero bool) {
+	n, kk := b.C, a.C
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := dst.V[(i+0)*n : (i+1)*n]
+		r1 := dst.V[(i+1)*n : (i+2)*n]
+		r2 := dst.V[(i+2)*n : (i+3)*n]
+		r3 := dst.V[(i+3)*n : (i+4)*n]
+		clearRow(r0)
+		clearRow(r1)
+		clearRow(r2)
+		clearRow(r3)
+		a0 := a.V[(i+0)*kk : (i+1)*kk]
+		a1 := a.V[(i+1)*kk : (i+2)*kk]
+		a2 := a.V[(i+2)*kk : (i+3)*kk]
+		a3 := a.V[(i+3)*kk : (i+4)*kk]
+		for k := 0; k < kk; k++ {
+			v0, v1, v2, v3 := a0[k], a1[k], a2[k], a3[k]
+			if skipZero && v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			bk := b.V[k*n : k*n+n]
+			for j, bv := range bk {
+				r0[j] += v0 * bv
+				r1[j] += v1 * bv
+				r2[j] += v2 * bv
+				r3[j] += v3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		ri := dst.V[i*n : (i+1)*n]
+		clearRow(ri)
+		ai := a.V[i*kk : (i+1)*kk]
+		for k := 0; k < kk; k++ {
+			v := ai[k]
+			if skipZero && v == 0 {
+				continue
+			}
+			bk := b.V[k*n : k*n+n]
+			for j, bv := range bk {
+				ri[j] += v * bv
+			}
+		}
+	}
+}
+
+// MatMulATBInto computes dst = aᵀ·b without materializing the
+// transpose, overwriting dst (shape a.C×b.C). dst must not alias a or b.
+func MatMulATBInto(dst, a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic("nn: MatMulATB shape mismatch")
+	}
+	if dst.R != a.C || dst.C != b.C {
+		panic(fmt.Sprintf("nn: MatMulATBInto dst %dx%d, want %dx%d", dst.R, dst.C, a.C, b.C))
+	}
+	matMulATB(dst, a, b, false)
+	return dst
+}
+
+// matMulATBAccInto accumulates dst += aᵀ·b without clearing dst first —
+// the gradient-accumulation form (Param.G carries sums across batches).
+func matMulATBAccInto(dst, a, b *Mat) {
+	if a.R != b.R || dst.R != a.C || dst.C != b.C {
+		panic("nn: matMulATBAccInto shape mismatch")
+	}
+	matMulATB(dst, a, b, true)
+}
+
+func matMulATB(dst, a, b *Mat, acc bool) {
+	skipZero := allFinite(b.V)
+	w := kernelWorkers(a.C, int64(a.R)*int64(a.C)*int64(b.C))
+	parallelRanges(a.C, w, func(lo, hi int) {
+		matMulATBCols(dst, a, b, lo, hi, acc, skipZero)
+	})
+}
+
+// matMulATBCols computes dst rows [lo, hi) — columns of a — with a
+// 4-column register block sharing each (a-row, b-row) pair across four
+// accumulator rows. k (= rows of a) stays the sequential reduction.
+func matMulATBCols(dst, a, b *Mat, lo, hi int, acc, skipZero bool) {
+	n, ac, rows := b.C, a.C, a.R
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := dst.V[(i+0)*n : (i+1)*n]
+		r1 := dst.V[(i+1)*n : (i+2)*n]
+		r2 := dst.V[(i+2)*n : (i+3)*n]
+		r3 := dst.V[(i+3)*n : (i+4)*n]
+		if !acc {
+			clearRow(r0)
+			clearRow(r1)
+			clearRow(r2)
+			clearRow(r3)
+		}
+		for k := 0; k < rows; k++ {
+			ak := a.V[k*ac : k*ac+ac]
+			v0, v1, v2, v3 := ak[i], ak[i+1], ak[i+2], ak[i+3]
+			if skipZero && v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			bk := b.V[k*n : k*n+n]
+			for j, bv := range bk {
+				r0[j] += v0 * bv
+				r1[j] += v1 * bv
+				r2[j] += v2 * bv
+				r3[j] += v3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		ri := dst.V[i*n : (i+1)*n]
+		if !acc {
+			clearRow(ri)
+		}
+		for k := 0; k < rows; k++ {
+			v := a.V[k*ac+i]
+			if skipZero && v == 0 {
+				continue
+			}
+			bk := b.V[k*n : k*n+n]
+			for j, bv := range bk {
+				ri[j] += v * bv
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes dst = a·bᵀ without materializing the
+// transpose, overwriting dst (shape a.R×b.R). dst must not alias a or b.
+func MatMulABTInto(dst, a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic("nn: MatMulABT shape mismatch")
+	}
+	if dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("nn: MatMulABTInto dst %dx%d, want %dx%d", dst.R, dst.C, a.R, b.R))
+	}
+	w := kernelWorkers(a.R, int64(a.R)*int64(a.C)*int64(b.R))
+	parallelRanges(a.R, w, func(lo, hi int) {
+		matMulABTRows(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// matMulABTRows computes dst rows [lo, hi) as dot products, four
+// b-rows at a time so each a-element load feeds four independent
+// accumulators (each still summing over k in reference order).
+func matMulABTRows(dst, a, b *Mat, lo, hi int) {
+	bc := b.C
+	for i := lo; i < hi; i++ {
+		arow := a.V[i*a.C : (i+1)*a.C]
+		orow := dst.V[i*dst.C : (i+1)*dst.C]
+		j := 0
+		for ; j+4 <= b.R; j += 4 {
+			b0 := b.V[(j+0)*bc : (j+1)*bc]
+			b1 := b.V[(j+1)*bc : (j+2)*bc]
+			b2 := b.V[(j+2)*bc : (j+3)*bc]
+			b3 := b.V[(j+3)*bc : (j+4)*bc]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.R; j++ {
+			brow := b.V[j*bc : (j+1)*bc]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// clearRow zeroes a row slice (compiles to memclr).
+func clearRow(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,67 @@
+// kernels_ref.go is the executable specification for the blocked
+// kernels in kernels.go: plain ikj triple loops with full IEEE
+// semantics (no term is ever skipped, so 0·NaN and 0·±Inf propagate).
+// The equivalence suite asserts the blocked/parallel kernels are
+// bit-identical to these on every shape, and the scalar-baseline
+// benchmark (BenchmarkPredictIDs) uses them to measure what the
+// kernel rewrite bought.
+package nn
+
+// RefMatMul returns a·b computed by the scalar reference kernel.
+func RefMatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic("nn: RefMatMul shape mismatch")
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.V[i*a.C : (i+1)*a.C]
+		orow := out.V[i*out.C : (i+1)*out.C]
+		for k := 0; k < a.C; k++ {
+			aik := arow[k]
+			brow := b.V[k*b.C : (k+1)*b.C]
+			for j := range brow {
+				orow[j] += aik * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// RefMatMulATB returns aᵀ·b computed by the scalar reference kernel.
+func RefMatMulATB(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic("nn: RefMatMulATB shape mismatch")
+	}
+	out := NewMat(a.C, b.C)
+	for k := 0; k < a.R; k++ {
+		arow := a.V[k*a.C : (k+1)*a.C]
+		brow := b.V[k*b.C : (k+1)*b.C]
+		for i, av := range arow {
+			orow := out.V[i*out.C : (i+1)*out.C]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// RefMatMulABT returns a·bᵀ computed by the scalar reference kernel.
+func RefMatMulABT(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic("nn: RefMatMulABT shape mismatch")
+	}
+	out := NewMat(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.V[i*a.C : (i+1)*a.C]
+		for j := 0; j < b.R; j++ {
+			brow := b.V[j*b.C : (j+1)*b.C]
+			var s float64
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			out.V[i*out.C+j] = s
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"impeccable/internal/xrand"
@@ -16,6 +17,16 @@ type Layer interface {
 	Backward(grad *Mat) *Mat
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
+}
+
+// Inferencer is the inference-only forward contract: Infer computes the
+// same outputs as Forward, bit for bit, but caches nothing on the layer
+// and draws all scratch from the caller's arena. Because it never
+// writes layer state, any number of goroutines may Infer through the
+// same layer concurrently — this is what lets inference workers share
+// one set of weights instead of deep-copying the model per worker.
+type Inferencer interface {
+	Infer(x *Mat, ar *Arena) *Mat
 }
 
 // Dense is a fully connected layer: y = x·W + b.
@@ -68,6 +79,20 @@ func (d *Dense) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
+// Infer implements Inferencer: same arithmetic as Forward (matmul, then
+// bias added after) with no input cache and all scratch from the arena.
+func (d *Dense) Infer(x *Mat, ar *Arena) *Mat {
+	out := ar.Mat(x.R, d.W.W.C)
+	MatMulInto(out, x, d.W.W)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B.W.V[j]
+		}
+	}
+	return out
+}
+
 // ReLU is the rectified linear activation.
 type ReLU struct{ mask []bool }
 
@@ -103,6 +128,20 @@ func (a *ReLU) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (a *ReLU) Params() []*Param { return nil }
 
+// Infer implements Inferencer. Uses Forward's v <= 0 test so NaN inputs
+// pass through unchanged on both paths.
+func (a *ReLU) Infer(x *Mat, ar *Arena) *Mat {
+	out := ar.Mat(x.R, x.C)
+	for i, v := range x.V {
+		if v <= 0 {
+			out.V[i] = 0
+		} else {
+			out.V[i] = v
+		}
+	}
+	return out
+}
+
 // LeakyReLU keeps a small negative-side slope (used by the AAE critic).
 type LeakyReLU struct {
 	Alpha float64
@@ -135,6 +174,19 @@ func (a *LeakyReLU) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (a *LeakyReLU) Params() []*Param { return nil }
 
+// Infer implements Inferencer.
+func (a *LeakyReLU) Infer(x *Mat, ar *Arena) *Mat {
+	out := ar.Mat(x.R, x.C)
+	for i, v := range x.V {
+		if v < 0 {
+			out.V[i] = a.Alpha * v
+		} else {
+			out.V[i] = v
+		}
+	}
+	return out
+}
+
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct{ y *Mat }
 
@@ -159,6 +211,15 @@ func (a *Tanh) Backward(grad *Mat) *Mat {
 
 // Params implements Layer.
 func (a *Tanh) Params() []*Param { return nil }
+
+// Infer implements Inferencer.
+func (a *Tanh) Infer(x *Mat, ar *Arena) *Mat {
+	out := ar.Mat(x.R, x.C)
+	for i, v := range x.V {
+		out.V[i] = math.Tanh(v)
+	}
+	return out
+}
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct{ y *Mat }
@@ -185,6 +246,15 @@ func (a *Sigmoid) Backward(grad *Mat) *Mat {
 // Params implements Layer.
 func (a *Sigmoid) Params() []*Param { return nil }
 
+// Infer implements Inferencer.
+func (a *Sigmoid) Infer(x *Mat, ar *Arena) *Mat {
+	out := ar.Mat(x.R, x.C)
+	for i, v := range x.V {
+		out.V[i] = 1 / (1 + math.Exp(-v))
+	}
+	return out
+}
+
 // Sequential chains layers into a network.
 type Sequential struct{ Layers []Layer }
 
@@ -205,6 +275,21 @@ func (s *Sequential) Backward(grad *Mat) *Mat {
 		grad = s.Layers[i].Backward(grad)
 	}
 	return grad
+}
+
+// Infer implements Inferencer: a cache-free forward pass producing the
+// same bits as Forward. The returned Mat is arena-backed and valid only
+// until the arena's next Reset/Release; Clone it (or copy the rows out)
+// to keep the values. Panics if any layer lacks an Infer method.
+func (s *Sequential) Infer(x *Mat, ar *Arena) *Mat {
+	for _, l := range s.Layers {
+		inf, ok := l.(Inferencer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %T has no inference-only path (does not implement Inferencer)", l))
+		}
+		x = inf.Infer(x, ar)
+	}
+	return x
 }
 
 // Params implements Layer.

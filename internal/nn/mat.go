@@ -68,28 +68,16 @@ func (m *Mat) Zero() {
 	}
 }
 
-// MatMul returns a·b. Panics on shape mismatch. The ikj loop order keeps
-// the inner loop sequential over both operands for cache friendliness.
+// MatMul returns a·b. Panics on shape mismatch. Dispatches to the
+// blocked, goroutine-parallel kernels (kernels.go), which are
+// bit-identical to the scalar reference (kernels_ref.go) with full
+// IEEE semantics — zero terms are only elided when the other operand
+// is finite, so 0·NaN and 0·±Inf propagate.
 func MatMul(a, b *Mat) *Mat {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewMat(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.V[i*a.C : (i+1)*a.C]
-		orow := out.V[i*out.C : (i+1)*out.C]
-		for k := 0; k < a.C; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.V[k*b.C : (k+1)*b.C]
-			for j := range brow {
-				orow[j] += aik * brow[j]
-			}
-		}
-	}
-	return out
+	return MatMulInto(NewMat(a.R, b.C), a, b)
 }
 
 // MatMulATB returns aᵀ·b without materializing the transpose.
@@ -97,21 +85,7 @@ func MatMulATB(a, b *Mat) *Mat {
 	if a.R != b.R {
 		panic("nn: MatMulATB shape mismatch")
 	}
-	out := NewMat(a.C, b.C)
-	for k := 0; k < a.R; k++ {
-		arow := a.V[k*a.C : (k+1)*a.C]
-		brow := b.V[k*b.C : (k+1)*b.C]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.V[i*out.C : (i+1)*out.C]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulATBInto(NewMat(a.C, b.C), a, b)
 }
 
 // MatMulABT returns a·bᵀ without materializing the transpose.
@@ -119,19 +93,7 @@ func MatMulABT(a, b *Mat) *Mat {
 	if a.C != b.C {
 		panic("nn: MatMulABT shape mismatch")
 	}
-	out := NewMat(a.R, b.R)
-	for i := 0; i < a.R; i++ {
-		arow := a.V[i*a.C : (i+1)*a.C]
-		for j := 0; j < b.R; j++ {
-			brow := b.V[j*b.C : (j+1)*b.C]
-			var s float64
-			for k := range arow {
-				s += arow[k] * brow[k]
-			}
-			out.V[i*out.C+j] = s
-		}
-	}
-	return out
+	return MatMulABTInto(NewMat(a.R, b.R), a, b)
 }
 
 // AddInPlace computes m += x (same shape).

@@ -70,6 +70,21 @@ func (c *FeatureCache) Features(id uint64) []float64 {
 	return v
 }
 
+// FeaturesInto writes the feature vector for the molecule ID into dst
+// (length chem.FeatureDim), computing and caching it on a miss — the
+// surrogate.BatchFeatureSource counterpart of Features, letting batched
+// inference fill kernel input buffers without holding a reference to the
+// shared cached slice. Counter semantics match Features exactly: one
+// hit or one miss per call, every miss stores (Puts == Misses).
+func (c *FeatureCache) FeaturesInto(dst []float64, id uint64) {
+	if v, ok := c.Lookup(id); ok {
+		copy(dst, v)
+		return
+	}
+	chem.FromID(id).FeatureVectorInto(dst)
+	c.Insert(id, append([]float64(nil), dst...))
+}
+
 // Lookup returns the cached vector for the molecule ID without
 // computing on a miss (counted as a hit/miss like Features). Remote
 // workers use it to tell which vectors a run computed fresh — the

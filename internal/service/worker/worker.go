@@ -518,6 +518,26 @@ func (r *recordingFeatures) Features(id uint64) []float64 {
 	return v
 }
 
+// FeaturesInto is the batched counterpart of Features (see
+// surrogate.BatchFeatureSource): same cache interaction and delta
+// recording, but the vector is written into dst instead of shared.
+func (r *recordingFeatures) FeaturesInto(dst []float64, id uint64) {
+	if v, ok := r.cache.Lookup(id); ok {
+		copy(dst, v)
+		return
+	}
+	chem.FromID(id).FeatureVectorInto(dst)
+	v := append([]float64(nil), dst...)
+	r.cache.Insert(id, v)
+	r.mu.Lock()
+	if len(r.delta) < maxFeatureDelta {
+		r.delta = append(r.delta, service.FeatureEntry{ID: id, Vec: v})
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
 func (r *recordingFeatures) take() []service.FeatureEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -61,6 +61,9 @@ func (m *CNNModel) Fit(mols []*chem.Molecule, scores []float64, cfg TrainConfig)
 	if len(mols) < 4 {
 		return Report{}, fmt.Errorf("surrogate: too few samples (%d)", len(mols))
 	}
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
 	m.lo, m.hi = math.Inf(1), math.Inf(-1)
 	for _, s := range scores {
 		m.lo = math.Min(m.lo, s)
@@ -75,9 +78,11 @@ func (m *CNNModel) Fit(mols []*chem.Molecule, scores []float64, cfg TrainConfig)
 		imgs[i] = chem.Render2D(mol)
 	}
 	perm := m.rng.Perm(n)
+	// ValFrac < 1 (validated above); clamp against float rounding so the
+	// training split is never empty.
 	nVal := int(cfg.ValFrac * float64(n))
 	if nVal >= n {
-		nVal = n / 2
+		nVal = n - 1
 	}
 	valIdx, trainIdx := perm[:nVal], perm[nVal:]
 	makeBatch := func(idx []int) (*nn.Mat, *nn.Mat) {

@@ -63,7 +63,10 @@ func (m *Model) PredictIDsStream(ids []uint64, workers, chunk int, src FeatureSo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			priv := m.cloneForInference()
+			// Workers share the model through the cache-free inference
+			// path; each carries only a pooled scratch arena.
+			ar := nn.GetArena()
+			defer ar.Release()
 			for {
 				mu.Lock()
 				at := next
@@ -77,7 +80,7 @@ func (m *Model) PredictIDsStream(ids []uint64, workers, chunk int, src FeatureSo
 					end = len(ids)
 				}
 				scores := make([]float64, end-at)
-				priv.predictInto(ids[at:end], src, scores)
+				m.predictInto(ids[at:end], src, scores, ar)
 				select {
 				case out <- ScoredChunk{Start: at, Scores: scores}:
 				case <-cancel:
@@ -93,13 +96,15 @@ func (m *Model) PredictIDsStream(ids []uint64, workers, chunk int, src FeatureSo
 	return out
 }
 
-// predictInto scores ids into out (len(out) == len(ids)).
-func (m *Model) predictInto(ids []uint64, src FeatureSource, out []float64) {
-	x := nn.NewMat(len(ids), chem.FeatureDim)
-	for i, id := range ids {
-		copy(x.Row(i), src.Features(id))
-	}
-	pred := m.net.Forward(x)
+// predictInto scores ids into out (len(out) == len(ids)) using the
+// cache-free inference path with scratch from ar. The arena is reset on
+// entry, so one arena serves any number of sequential calls; it must not
+// be shared across goroutines.
+func (m *Model) predictInto(ids []uint64, src FeatureSource, out []float64, ar *nn.Arena) {
+	ar.Reset()
+	x := ar.Mat(len(ids), chem.FeatureDim)
+	fillFeatures(x, ids, src)
+	pred := m.net.Infer(x, ar)
 	for i := range out {
 		out[i] = pred.At(i, 0)
 	}

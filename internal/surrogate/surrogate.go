@@ -67,6 +67,27 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 30, BatchSize: 64, LR: 1e-3, ValFrac: 0.2}
 }
 
+// Validate reports the first invalid field, if any. Fit and CNNModel.Fit
+// call it so a bad configuration (e.g. a negative ValFrac, which would
+// otherwise slice perm[:nVal] with nVal < 0 and panic) surfaces as an
+// error instead of a runtime fault mid-campaign.
+func (cfg TrainConfig) Validate() error {
+	if cfg.Epochs < 1 {
+		return fmt.Errorf("surrogate: TrainConfig.Epochs must be >= 1, got %d", cfg.Epochs)
+	}
+	if cfg.BatchSize < 0 {
+		return fmt.Errorf("surrogate: TrainConfig.BatchSize must be >= 0, got %d", cfg.BatchSize)
+	}
+	if !(cfg.LR > 0) || math.IsInf(cfg.LR, 0) {
+		return fmt.Errorf("surrogate: TrainConfig.LR must be positive and finite, got %v", cfg.LR)
+	}
+	// The negated form catches NaN as well as out-of-range values.
+	if !(cfg.ValFrac >= 0 && cfg.ValFrac < 1) {
+		return fmt.Errorf("surrogate: TrainConfig.ValFrac must be in [0, 1), got %v", cfg.ValFrac)
+	}
+	return nil
+}
+
 // Report summarizes a training run.
 type Report struct {
 	TrainLoss []float64 // per-epoch training MSE
@@ -96,6 +117,9 @@ func (m *Model) Fit(mols []*chem.Molecule, scores []float64, cfg TrainConfig) (R
 	if len(mols) < 4 {
 		return Report{}, fmt.Errorf("surrogate: too few samples (%d)", len(mols))
 	}
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
 	// Calibrate the score mapping on the training distribution.
 	m.lo, m.hi = math.Inf(1), math.Inf(-1)
 	for _, s := range scores {
@@ -108,9 +132,12 @@ func (m *Model) Fit(mols []*chem.Molecule, scores []float64, cfg TrainConfig) (R
 
 	n := len(mols)
 	perm := m.rng.Perm(n)
+	// ValFrac < 1 (validated above), so nVal < n barring float rounding
+	// at the very top of the range; clamp so the training split is never
+	// empty.
 	nVal := int(cfg.ValFrac * float64(n))
 	if nVal >= n {
-		nVal = n / 2
+		nVal = n - 1
 	}
 	valIdx, trainIdx := perm[:nVal], perm[nVal:]
 
@@ -196,12 +223,43 @@ type FeatureSource interface {
 	Features(id uint64) []float64
 }
 
+// BatchFeatureSource is an optional FeatureSource extension for the
+// batched inference path: FeaturesInto writes id's feature vector into
+// dst (length chem.FeatureDim), overwriting every element, instead of
+// returning a freshly allocated or cached slice. Implementations must be
+// safe for concurrent use. Sources that implement it let inference
+// workers featurize directly into kernel input buffers with zero copies
+// and zero per-molecule allocations.
+type BatchFeatureSource interface {
+	FeatureSource
+	FeaturesInto(dst []float64, id uint64)
+}
+
 // materializeSource is the default FeatureSource: build the molecule from
 // its ID and featurize it on the fly.
 type materializeSource struct{}
 
 func (materializeSource) Features(id uint64) []float64 {
 	return chem.FromID(id).FeatureVector()
+}
+
+func (materializeSource) FeaturesInto(dst []float64, id uint64) {
+	chem.FromID(id).FeatureVectorInto(dst)
+}
+
+// fillFeatures loads ids' feature vectors into the rows of x, using the
+// in-place path when the source supports it. Every row is fully
+// overwritten, so x may be arena scratch with arbitrary contents.
+func fillFeatures(x *nn.Mat, ids []uint64, src FeatureSource) {
+	if bs, ok := src.(BatchFeatureSource); ok {
+		for i, id := range ids {
+			bs.FeaturesInto(x.Row(i), id)
+		}
+		return
+	}
+	for i, id := range ids {
+		copy(x.Row(i), src.Features(id))
+	}
 }
 
 // PredictIDs scores library molecule IDs with a parallel worker pool, the
@@ -226,15 +284,16 @@ func (m *Model) PredictIDsFrom(ids []uint64, workers int, src FeatureSource) []f
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	// The network forward pass is not reentrant (layers cache
-	// activations), so each worker clones the model weights into a
-	// private forward-only copy — the analogue of each rank loading the
-	// deployed TensorRT engine.
+	// Workers share the model weights through the cache-free inference
+	// path (nn.Sequential.Infer): no activation state is written, so no
+	// per-worker weight clone is needed — each worker just carries a
+	// pooled scratch arena for its activations.
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			priv := m.cloneForInference()
+			ar := nn.GetArena()
+			defer ar.Release()
 			for {
 				mu.Lock()
 				at := next
@@ -247,11 +306,10 @@ func (m *Model) PredictIDsFrom(ids []uint64, workers int, src FeatureSource) []f
 				if end > len(ids) {
 					end = len(ids)
 				}
-				x := nn.NewMat(end-at, chem.FeatureDim)
-				for i := at; i < end; i++ {
-					copy(x.Row(i-at), src.Features(ids[i]))
-				}
-				pred := priv.net.Forward(x)
+				ar.Reset()
+				x := ar.Mat(end-at, chem.FeatureDim)
+				fillFeatures(x, ids[at:end], src)
+				pred := m.net.Infer(x, ar)
 				for i := at; i < end; i++ {
 					out[i] = pred.At(i-at, 0)
 				}
@@ -262,26 +320,24 @@ func (m *Model) PredictIDsFrom(ids []uint64, workers int, src FeatureSource) []f
 	return out
 }
 
-// cloneForInference deep-copies the network weights into a new model so
-// concurrent forward passes do not share activation caches.
-func (m *Model) cloneForInference() *Model {
-	clone := NewModel(0)
-	src := m.net.Params()
-	dst := clone.net.Params()
-	for i := range src {
-		copy(dst[i].W.V, src[i].W.V)
-	}
-	clone.lo, clone.hi = m.lo, m.hi
-	return clone
-}
-
-// TopK returns the indices of the k highest surrogate scores.
+// TopK returns the indices of the k highest surrogate scores. Equal
+// scores are ordered by ascending index, so the selection is fully
+// deterministic (sort.Slice alone leaves tie order unspecified). The
+// kept score multiset always matches RunningTopK fed the same stream;
+// which member of a boundary-score tie survives may differ (the heap
+// evicts an arbitrary minimum, TopK keeps the lowest indices).
 func TopK(scores []float64, k int) []int {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
 	if k > len(idx) {
 		k = len(idx)
 	}
@@ -289,13 +345,19 @@ func TopK(scores []float64, k int) []int {
 }
 
 // BottomK returns the indices of the k lowest raw values (e.g. best
-// docking scores).
+// docking scores). Equal values are ordered by ascending index.
 func BottomK(scores []float64, k int) []int {
 	idx := make([]int, len(scores))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return idx[a] < idx[b]
+	})
 	if k > len(idx) {
 		k = len(idx)
 	}
