@@ -11,7 +11,8 @@
 //
 //	impeccable-server [-addr :8080] [-workers N] [-campaign-workers N]
 //	                  [-shards N] [-max-cache N] [-state-dir DIR]
-//	                  [-snapshot-every D] [-max-queued N] [-max-jobs N]
+//	                  [-snapshot-every D] [-segment-bytes N] [-inline-limit N]
+//	                  [-compact-every D] [-max-queued N] [-max-jobs N]
 //	                  [-lease-ttl D]
 //
 // -workers=0 starts the server as a pure coordinator with zero
@@ -62,6 +63,9 @@ func main() {
 	maxCache := flag.Int("max-cache", 0, "score-cache entry bound (0 = unbounded)")
 	stateDir := flag.String("state-dir", "", "durable state directory: job journal + cache checkpoints (empty = in-memory only)")
 	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "cache checkpoint cadence when -state-dir is set")
+	segmentBytes := flag.Int64("segment-bytes", 0, "journal segment rotation threshold in bytes (0 = 4 MiB)")
+	inlineLimit := flag.Int("inline-limit", 0, "journal payloads above this many bytes spill to the blob store (0 = 32 KiB, negative = never spill)")
+	compactEvery := flag.Duration("compact-every", 0, "journal compaction + blob GC cadence when -state-dir is set (0 = 1m, negative = never)")
 	maxQueued := flag.Int("max-queued", 0, "pending-queue bound; overflow submissions get HTTP 429 (0 = unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "terminal job records kept in memory and listings (0 = unbounded; the journal keeps full history)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "remote-worker lease TTL; a worker silent this long loses its job (0 = 30s)")
@@ -81,6 +85,9 @@ func main() {
 		MaxCacheEntries: *maxCache,
 		StateDir:        *stateDir,
 		SnapshotEvery:   *snapshotEvery,
+		SegmentBytes:    *segmentBytes,
+		InlineLimit:     *inlineLimit,
+		CompactEvery:    *compactEvery,
 		MaxQueued:       *maxQueued,
 		MaxJobRecords:   *maxJobs,
 		LeaseTTL:        *leaseTTL,

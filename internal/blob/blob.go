@@ -1,0 +1,329 @@
+// Package blob is a pluggable content-addressed artifact store: opaque
+// byte payloads keyed by their SHA-256, so identical artifacts are
+// stored once no matter how many journal events or snapshots reference
+// them, and every read is integrity-checked against the key. The
+// campaign service spills large journal payloads (submit libraries,
+// result ledgers) and cache snapshots here, keeping only {sha256, size}
+// refs in the write-ahead log — the journal scales with event count,
+// the artifacts with unique content.
+//
+// FS is the filesystem-backed default: objects live under a two-level
+// fan-out (ab/cd/abcdef...) so no directory ever holds millions of
+// entries, writes are temp-file + fsync + atomic rename, and a
+// mark-phase Sweep deletes objects no live reference pins. The Store
+// interface is deliberately small so an S3/minio backend can slot in
+// behind the same journal code later.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Ref identifies one stored object by content: the hex SHA-256 of its
+// bytes plus the byte count (a cheap second check, and what capacity
+// accounting needs without reading the object).
+type Ref struct {
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// Store is the content-addressed artifact interface the journal writes
+// through. Implementations must be safe for concurrent use.
+type Store interface {
+	// Put stores data, returning its ref. Storing bytes that already
+	// exist is a cheap no-op returning the same ref.
+	Put(data []byte) (Ref, error)
+	// Get returns the object's bytes, verifying them against the ref:
+	// a corrupt or truncated object is an error, never silent data.
+	Get(ref Ref) ([]byte, error)
+	// Has reports whether an object with the given hex SHA-256 exists.
+	Has(hash string) bool
+	// Delete removes one object; deleting a missing object is a no-op.
+	Delete(hash string) error
+	// Sweep deletes every object the live predicate does not pin,
+	// returning how many objects and bytes were reclaimed. Objects
+	// younger than the store's grace window survive regardless, so an
+	// object written moments ago — whose reference may not be durable
+	// yet — cannot be collected out from under its writer.
+	Sweep(live func(hash string) bool) (removed int, reclaimed int64, err error)
+	// Stats reports object count, total bytes and operation counters.
+	Stats() Stats
+}
+
+// Stats is a point-in-time snapshot of a store.
+type Stats struct {
+	Objects int64 `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+	Puts    int64 `json:"puts"`    // objects actually written (dedup hits excluded)
+	Gets    int64 `json:"gets"`    // successful reads
+	Deletes int64 `json:"deletes"` // objects removed (Delete + Sweep)
+}
+
+// DefaultGCGrace is how recently an object may have been written and
+// still survive a Sweep that does not pin it. Covers the window between
+// an object landing on disk and the journal event (or snapshot
+// manifest) that references it becoming durable.
+const DefaultGCGrace = 5 * time.Minute
+
+// FS is the filesystem-backed Store.
+type FS struct {
+	root string
+	// GCGrace overrides DefaultGCGrace; tests set it to 0 so sweeps are
+	// immediate. Mutate only before concurrent use.
+	GCGrace time.Duration
+
+	objects atomic.Int64
+	bytes   atomic.Int64
+	puts    atomic.Int64
+	gets    atomic.Int64
+	deletes atomic.Int64
+}
+
+// Open opens (creating if needed) a store rooted at dir, removes
+// temp files abandoned by a crashed writer, and scans existing objects
+// so Stats is accurate from the start.
+func Open(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: creating store dir: %w", err)
+	}
+	s := &FS{root: dir, GCGrace: DefaultGCGrace}
+	// No writer can be mid-Put at open, so every temp file is a crash
+	// leftover: clean them all (far-future cutoff).
+	err := s.walkObjects(func(path string, hash string, info fs.FileInfo) error {
+		s.objects.Add(1)
+		s.bytes.Add(info.Size())
+		return nil
+	}, time.Now().Add(24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SumHex returns the hex SHA-256 of data — the hash Put would key it
+// under.
+func SumHex(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// validHash reports whether s looks like a hex SHA-256.
+func validHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// objectPath maps a hash to its fan-out location:
+// <root>/ab/cd/abcdef... Two levels of 256 keep any single directory
+// small even at tens of millions of objects.
+func (s *FS) objectPath(hash string) string {
+	return filepath.Join(s.root, hash[:2], hash[2:4], hash)
+}
+
+// Put stores data under its SHA-256, atomically: temp file in the leaf
+// directory, fsync, rename. An object that already exists is not
+// rewritten (content addressing: same hash, same bytes).
+func (s *FS) Put(data []byte) (Ref, error) {
+	ref := Ref{SHA256: SumHex(data), Size: int64(len(data))}
+	path := s.objectPath(ref.SHA256)
+	if _, err := os.Stat(path); err == nil {
+		return ref, nil // dedup hit
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Ref{}, fmt.Errorf("blob: creating fan-out dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ref.SHA256[:8]+"-*.tmp")
+	if err != nil {
+		return Ref{}, fmt.Errorf("blob: creating temp object: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return Ref{}, fmt.Errorf("blob: writing object: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return Ref{}, fmt.Errorf("blob: syncing object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return Ref{}, fmt.Errorf("blob: closing object: %w", err)
+	}
+	// Link-then-remove instead of rename: two racing Puts of the same
+	// content both reach here, and link fails with EEXIST for the loser,
+	// so the object (and its counters) is installed exactly once.
+	if err := os.Link(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		if os.IsExist(err) {
+			return ref, nil // lost the race: identical content already installed
+		}
+		return Ref{}, fmt.Errorf("blob: installing object: %w", err)
+	}
+	os.Remove(tmp.Name())
+	syncDir(dir)
+	s.objects.Add(1)
+	s.bytes.Add(ref.Size)
+	s.puts.Add(1)
+	return ref, nil
+}
+
+// Get reads an object and verifies it against the ref. A hash or size
+// mismatch — a bit-flipped or truncated object — is an error: the
+// store never silently serves bytes that do not match their address.
+func (s *FS) Get(ref Ref) ([]byte, error) {
+	if !validHash(ref.SHA256) {
+		return nil, fmt.Errorf("blob: malformed hash %q", ref.SHA256)
+	}
+	data, err := os.ReadFile(s.objectPath(ref.SHA256))
+	if err != nil {
+		return nil, fmt.Errorf("blob: reading object %s: %w", ref.SHA256[:12], err)
+	}
+	if int64(len(data)) != ref.Size {
+		return nil, fmt.Errorf("blob: object %s is %d bytes, ref says %d",
+			ref.SHA256[:12], len(data), ref.Size)
+	}
+	if got := SumHex(data); got != ref.SHA256 {
+		return nil, fmt.Errorf("blob: object %s corrupt: content hashes to %s",
+			ref.SHA256[:12], got[:12])
+	}
+	s.gets.Add(1)
+	return data, nil
+}
+
+// Has reports whether the object exists.
+func (s *FS) Has(hash string) bool {
+	if !validHash(hash) {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(hash))
+	return err == nil
+}
+
+// Delete removes one object. Missing objects are a no-op.
+func (s *FS) Delete(hash string) error {
+	if !validHash(hash) {
+		return fmt.Errorf("blob: malformed hash %q", hash)
+	}
+	path := s.objectPath(hash)
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("blob: statting object: %w", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("blob: deleting object: %w", err)
+	}
+	s.objects.Add(-1)
+	s.bytes.Add(-info.Size())
+	s.deletes.Add(1)
+	return nil
+}
+
+// Sweep deletes every object not pinned by live and older than the
+// grace window, plus any abandoned temp files. This is the collection
+// half of the journal's ref-counted GC: the caller marks (scans the
+// live journal segments and snapshot manifest for refs), the store
+// sweeps.
+func (s *FS) Sweep(live func(hash string) bool) (removed int, reclaimed int64, err error) {
+	grace := s.GCGrace
+	cutoff := time.Now().Add(-grace)
+	err = s.walkObjects(func(path, hash string, info fs.FileInfo) error {
+		if live != nil && live(hash) {
+			return nil
+		}
+		if grace > 0 && info.ModTime().After(cutoff) {
+			return nil // too young: its reference may not be durable yet
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("blob: sweeping object: %w", err)
+		}
+		s.objects.Add(-1)
+		s.bytes.Add(-info.Size())
+		s.deletes.Add(1)
+		removed++
+		reclaimed += info.Size()
+		return nil
+	}, cutoff)
+	return removed, reclaimed, err
+}
+
+// walkObjects visits every object file under the fan-out. A *.tmp
+// straggler (a writer crashed between CreateTemp and rename) modified
+// before cleanTempBefore is removed instead of visited — the age gate
+// keeps a sweep from yanking a temp file a concurrent Put is still
+// writing. The zero time disables temp cleanup.
+func (s *FS) walkObjects(visit func(path, hash string, info fs.FileInfo) error, cleanTempBefore time.Time) error {
+	return filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // raced a concurrent sweep
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			if !cleanTempBefore.IsZero() {
+				if info, err := d.Info(); err == nil && info.ModTime().Before(cleanTempBefore) {
+					_ = os.Remove(path)
+				}
+			}
+			return nil
+		}
+		if !validHash(name) {
+			return nil // foreign file: leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		return visit(path, name, info)
+	})
+}
+
+// Stats snapshots the store's counters.
+func (s *FS) Stats() Stats {
+	return Stats{
+		Objects: s.objects.Load(),
+		Bytes:   s.bytes.Load(),
+		Puts:    s.puts.Load(),
+		Gets:    s.gets.Load(),
+		Deletes: s.deletes.Load(),
+	}
+}
+
+// syncDir fsyncs a directory so a freshly renamed entry survives power
+// loss. Best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

@@ -1,0 +1,249 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T) *FS {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.GCGrace = 0 // tests sweep immediately
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t)
+	data := []byte("dock pose ledger payload")
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.SHA256 != SumHex(data) || ref.Size != int64(len(data)) {
+		t.Fatalf("ref = %+v", ref)
+	}
+	got, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q", got)
+	}
+	if !s.Has(ref.SHA256) {
+		t.Fatal("Has = false for a stored object")
+	}
+	if st := s.Stats(); st.Objects != 1 || st.Bytes != ref.Size || st.Puts != 1 || st.Gets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	s := openTest(t)
+	data := []byte("same bytes twice")
+	r1, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("refs differ: %+v vs %+v", r1, r2)
+	}
+	if st := s.Stats(); st.Objects != 1 || st.Puts != 1 {
+		t.Fatalf("dedup put counted twice: %+v", st)
+	}
+}
+
+func TestFanOutLayout(t *testing.T) {
+	s := openTest(t)
+	ref, err := s.Put([]byte("layout probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ref.SHA256
+	want := filepath.Join(s.root, h[:2], h[2:4], h)
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("object not at two-level fan-out path %s: %v", want, err)
+	}
+}
+
+func TestGetDetectsCorruption(t *testing.T) {
+	s := openTest(t)
+	ref, err := s.Put([]byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath(ref.SHA256)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x01 // bit flip
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("bit-flipped object read back without error: %v", err)
+	}
+	// Truncation (size mismatch) is caught before hashing.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ref); err == nil {
+		t.Fatal("truncated object read back without error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := openTest(t)
+	ref, err := s.Put([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ref.SHA256); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(ref.SHA256) {
+		t.Fatal("deleted object still present")
+	}
+	if err := s.Delete(ref.SHA256); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Objects != 0 || st.Bytes != 0 || st.Deletes != 1 {
+		t.Fatalf("stats after delete = %+v", st)
+	}
+	if err := s.Delete("not-a-hash"); err == nil {
+		t.Fatal("malformed hash accepted")
+	}
+}
+
+func TestSweepRespectsLiveSetAndGrace(t *testing.T) {
+	s := openTest(t)
+	var refs []Ref
+	for i := 0; i < 6; i++ {
+		ref, err := s.Put([]byte(fmt.Sprintf("object %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	live := map[string]bool{refs[0].SHA256: true, refs[3].SHA256: true}
+	removed, reclaimed, err := s.Sweep(func(h string) bool { return live[h] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 || reclaimed <= 0 {
+		t.Fatalf("removed %d objects (%d bytes), want 4", removed, reclaimed)
+	}
+	for i, ref := range refs {
+		if got, want := s.Has(ref.SHA256), live[ref.SHA256]; got != want {
+			t.Fatalf("object %d: Has = %v, want %v", i, got, want)
+		}
+	}
+	if st := s.Stats(); st.Objects != 2 {
+		t.Fatalf("stats after sweep = %+v", st)
+	}
+
+	// With a grace window, a freshly written unpinned object survives.
+	s.GCGrace = time.Hour
+	ref, err := s.Put([]byte("too young to die"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed, _, err := s.Sweep(func(string) bool { return false }); err != nil || removed != 0 {
+		t.Fatalf("grace-window sweep removed %d (err %v), want 0", removed, err)
+	}
+	if !s.Has(ref.SHA256) {
+		t.Fatal("young object collected inside the grace window")
+	}
+}
+
+func TestOpenScansAndCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s1.Put([]byte("persisted across opens"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put: a stray temp file in a fan-out dir.
+	tmp := filepath.Join(dir, ref.SHA256[:2], ref.SHA256[2:4], "deadbeef-123.tmp")
+	if err := os.WriteFile(tmp, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Objects != 1 || st.Bytes != ref.Size {
+		t.Fatalf("rescan stats = %+v", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("crash-leftover temp file survived Open")
+	}
+	if got, err := s2.Get(ref); err != nil || !bytes.Equal(got, []byte("persisted across opens")) {
+		t.Fatalf("object lost across opens: %q %v", got, err)
+	}
+}
+
+func TestForeignFilesAreLeftAlone(t *testing.T) {
+	s := openTest(t)
+	foreign := filepath.Join(s.root, "README")
+	if err := os.WriteFile(foreign, []byte("not an object"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if removed, _, err := s.Sweep(func(string) bool { return false }); err != nil || removed != 0 {
+		t.Fatalf("sweep touched foreign files: removed=%d err=%v", removed, err)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("foreign file removed by sweep")
+	}
+}
+
+func TestGetRejectsMalformedRef(t *testing.T) {
+	s := openTest(t)
+	if _, err := s.Get(Ref{SHA256: "../../etc/passwd", Size: 1}); err == nil {
+		t.Fatal("path-traversal ref accepted")
+	}
+	if s.Has("../escape") {
+		t.Fatal("malformed hash reported present")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := openTest(t)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				// Half the writes collide across goroutines on purpose.
+				_, err := s.Put([]byte(fmt.Sprintf("payload %d", i%25)))
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Objects != 25 {
+		t.Fatalf("concurrent puts left %d objects, want 25", st.Objects)
+	}
+}

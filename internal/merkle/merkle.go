@@ -1,0 +1,111 @@
+// Package merkle builds Merkle trees over campaign event-hash chains
+// and produces logarithmic inclusion proofs, giving the journal's
+// provenance records a single tamper-evident commitment per campaign:
+// the root recorded at terminal time covers every lifecycle event that
+// produced the result, and any single event's membership is checkable
+// without shipping the whole history.
+//
+// Tree shape: leaves are already hashes (the per-event chain hashes),
+// so they enter the tree as-is. Interior nodes are
+// SHA-256(0x01 || left || right); an odd node at any level is promoted
+// unchanged to the next level (no duplication, so proofs stay minimal
+// and two different leaf multisets cannot share a root by padding).
+// The empty tree's root is SHA-256(0x00), distinct from every
+// single-leaf root.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+)
+
+// interiorPrefix domain-separates interior nodes from leaf input, so a
+// crafted leaf equal to a 64-byte concatenation cannot impersonate an
+// interior node.
+const interiorPrefix = 0x01
+
+// Root reduces the leaf hashes to the tree's root. Leaves are used
+// verbatim (they are hashes already); Root(nil) is SHA-256(0x00).
+func Root(leaves [][]byte) []byte {
+	if len(leaves) == 0 {
+		empty := sha256.Sum256([]byte{0x00})
+		return empty[:]
+	}
+	level := make([][]byte, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i]) // odd node promotes
+				break
+			}
+			next = append(next, interior(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// interior hashes one parent node from its two children.
+func interior(left, right []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{interiorPrefix})
+	h.Write(left)
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// ProofStep is one sibling on the path from a leaf to the root. Left
+// reports which side the sibling combines on: true means the sibling
+// is the left child (the proven node is the right one).
+type ProofStep struct {
+	Hash []byte
+	Left bool
+}
+
+// Proof returns the inclusion proof for leaves[index]: the sibling
+// path whose successive combination with the leaf reproduces Root.
+// Returns nil for an out-of-range index. A promoted odd node
+// contributes no step at that level.
+func Proof(leaves [][]byte, index int) []ProofStep {
+	if index < 0 || index >= len(leaves) {
+		return nil
+	}
+	steps := []ProofStep{} // single-leaf tree: empty but valid proof
+	level := make([][]byte, len(leaves))
+	copy(level, leaves)
+	pos := index
+	for len(level) > 1 {
+		var next [][]byte
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i]) // odd node promotes, no step
+				break
+			}
+			switch pos {
+			case i:
+				steps = append(steps, ProofStep{Hash: level[i+1], Left: false})
+			case i + 1:
+				steps = append(steps, ProofStep{Hash: level[i], Left: true})
+			}
+			next = append(next, interior(level[i], level[i+1]))
+		}
+		pos /= 2
+		level = next
+	}
+	return steps
+}
+
+// Verify reports whether the proof connects leaf to root.
+func Verify(root, leaf []byte, proof []ProofStep) bool {
+	cur := leaf
+	for _, step := range proof {
+		if step.Left {
+			cur = interior(step.Hash, cur)
+		} else {
+			cur = interior(cur, step.Hash)
+		}
+	}
+	return bytes.Equal(cur, root)
+}

@@ -1,0 +1,122 @@
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// leafset builds n distinct 32-byte leaves.
+func leafset(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		h := sha256.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+		out[i] = h[:]
+	}
+	return out
+}
+
+func TestEmptyAndSingleRoots(t *testing.T) {
+	empty := sha256.Sum256([]byte{0x00})
+	if !bytes.Equal(Root(nil), empty[:]) {
+		t.Fatal("empty root is not H(0x00)")
+	}
+	leaves := leafset(1)
+	if !bytes.Equal(Root(leaves), leaves[0]) {
+		t.Fatal("single-leaf root must be the leaf itself")
+	}
+	if bytes.Equal(Root(nil), Root(leaves)) {
+		t.Fatal("empty and single-leaf roots collide")
+	}
+}
+
+func TestRootDependsOnEveryLeafAndOrder(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 9, 33} {
+		leaves := leafset(n)
+		root := Root(leaves)
+		// Flip one bit in each leaf in turn: the root must move.
+		for i := range leaves {
+			mut := leafset(n)
+			mut[i][0] ^= 0x80
+			if bytes.Equal(Root(mut), root) {
+				t.Fatalf("n=%d: root ignores leaf %d", n, i)
+			}
+		}
+		// Swapping two leaves must move the root (position matters).
+		if n >= 2 {
+			sw := leafset(n)
+			sw[0], sw[n-1] = sw[n-1], sw[0]
+			if bytes.Equal(Root(sw), root) {
+				t.Fatalf("n=%d: root ignores leaf order", n)
+			}
+		}
+	}
+}
+
+func TestRootIsDeterministic(t *testing.T) {
+	leaves := leafset(13)
+	if !bytes.Equal(Root(leaves), Root(leafset(13))) {
+		t.Fatal("same leaves, different roots")
+	}
+}
+
+func TestProofsVerifyAtEverySizeAndIndex(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		leaves := leafset(n)
+		root := Root(leaves)
+		for i := 0; i < n; i++ {
+			proof := Proof(leaves, i)
+			if proof == nil {
+				t.Fatalf("n=%d i=%d: nil proof", n, i)
+			}
+			if !Verify(root, leaves[i], proof) {
+				t.Fatalf("n=%d i=%d: proof does not verify", n, i)
+			}
+			// A tampered leaf must fail against the honest proof.
+			bad := append([]byte(nil), leaves[i]...)
+			bad[5] ^= 0x01
+			if Verify(root, bad, proof) {
+				t.Fatalf("n=%d i=%d: tampered leaf verified", n, i)
+			}
+			// The proof must not verify a different position's leaf.
+			if n > 1 {
+				other := leaves[(i+1)%n]
+				if Verify(root, other, proof) {
+					t.Fatalf("n=%d i=%d: proof verified the wrong leaf", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestProofOutOfRange(t *testing.T) {
+	leaves := leafset(4)
+	if Proof(leaves, -1) != nil || Proof(leaves, 4) != nil {
+		t.Fatal("out-of-range index returned a proof")
+	}
+}
+
+func TestTamperedProofStepFails(t *testing.T) {
+	leaves := leafset(8)
+	root := Root(leaves)
+	proof := Proof(leaves, 3)
+	proof[1].Hash = append([]byte(nil), proof[1].Hash...)
+	proof[1].Hash[0] ^= 0xff
+	if Verify(root, leaves[3], proof) {
+		t.Fatal("tampered proof step verified")
+	}
+}
+
+// TestLeafCannotImpersonateInterior: the 0x01 domain prefix means a
+// leaf crafted as the concatenation of two child hashes does not hash
+// like the parent node.
+func TestLeafCannotImpersonateInterior(t *testing.T) {
+	leaves := leafset(2)
+	root := Root(leaves)
+	concat := append(append([]byte(nil), leaves[0]...), leaves[1]...)
+	forged := sha256.Sum256(concat)
+	if bytes.Equal(root, forged[:]) {
+		t.Fatal("interior node is an unprefixed hash of its children")
+	}
+}

@@ -17,6 +17,7 @@ import (
 //	DELETE /api/v1/campaigns/{id}     cancel a job
 //	GET    /api/v1/campaigns/{id}/result   completed job's summary
 //	GET    /api/v1/campaigns/{id}/events   live progress stream (SSE)
+//	GET    /api/v1/campaigns/{id}/provenance   event-hash chain + Merkle proof
 //	GET    /api/v1/cache              score + feature cache stats
 //	GET    /healthz                   liveness + job counts (503 while draining)
 //	GET    /metrics                   Prometheus text exposition
@@ -38,6 +39,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/provenance", s.handleProvenance)
 	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -159,6 +161,32 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, err.Error())
 	default:
 		writeJSON(w, http.StatusOK, sum)
+	}
+}
+
+// handleProvenance serves a job's event-hash chain, the Merkle root
+// sealed at terminal time, and an inclusion proof for one event —
+// the last by default, or the one picked with ?event=N.
+func (s *Service) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	index := -1
+	if v := r.URL.Query().Get("event"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid event index %q", v))
+			return
+		}
+		index = n
+	}
+	p, err := s.Provenance(r.PathValue("id"), index)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job")
+	case errors.Is(err, ErrNoProvenance):
+		writeError(w, http.StatusNotFound, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, p)
 	}
 }
 

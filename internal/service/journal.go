@@ -1,13 +1,37 @@
-// Crash-safe persistence for the campaign service: a write-ahead
-// journal of job lifecycle events plus periodic snapshots of the
-// sharded score and feature caches. The journal is the source of truth
-// for job state across restarts (in the event-sourced style of
-// replayable execution records); the cache snapshot is a pure
-// optimization that keeps a restarted service's docking warm. Both
-// live under Options.StateDir:
+// Crash-safe persistence for the campaign service: a segmented
+// write-ahead journal of job lifecycle events, a content-addressed
+// blob store for large payloads, and periodic snapshots of the sharded
+// score and feature caches. The journal is the source of truth for job
+// state across restarts (in the event-sourced style of replayable
+// execution records); the cache snapshot is a pure optimization that
+// keeps a restarted service's docking warm. Everything lives under
+// Options.StateDir:
 //
-//	<state-dir>/journal.jsonl  append-only JSON lines, fsynced per event
-//	<state-dir>/caches.snap    gob cache checkpoint, atomically renamed
+//	<state-dir>/journal-<seq>.jsonl  append-only JSON lines, fsynced
+//	                                 per batch; rotated at SegmentBytes,
+//	                                 sealed segments compact away
+//	<state-dir>/blobs/               content-addressed artifacts (spilled
+//	                                 requests, result ledgers, snapshots)
+//	<state-dir>/caches.snap          JSON manifest {sha256,size} naming
+//	                                 the current cache-checkpoint blob
+//
+// Three mechanisms keep replay and disk usage scaling with live work
+// instead of lifetime history:
+//
+//   - Spill: an event payload (SubmitRequest library spec, ResultSummary
+//     ledger) whose JSON exceeds Options.InlineLimit moves to the blob
+//     store and the journal line carries only its {sha256, size} ref.
+//     Every ref is hash-verified on read, so a bit-flipped artifact is
+//     an error, never silent data.
+//   - Segments: the journal rotates at Options.SegmentBytes. Sealed
+//     segments are immutable, which is what makes compaction a simple
+//     rewrite (see compact.go).
+//   - Provenance: every event carries a chain hash over its predecessor
+//     and its own canonical JSON; when a job reaches a terminal state
+//     the journal auto-appends a "sealed" event carrying the Merkle
+//     root over the job's event hashes. The inclusion proof for any
+//     event is served live (GET .../provenance) and the whole state
+//     dir is checkable offline (cmd/impeccable-verify).
 //
 // Replay semantics (see Open): a job whose last journaled event is
 // terminal is restored as a served-from-journal record (summary, error
@@ -20,21 +44,41 @@ package service
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"impeccable/internal/blob"
+	"impeccable/internal/merkle"
 )
 
-// State-dir file names.
+// State-dir file names. legacyJournalName is the pre-segmentation
+// journal; openJournal migrates it to segment 1 by rename, so old state
+// dirs keep their history.
 const (
-	journalName  = "journal.jsonl"
-	snapshotName = "caches.snap"
+	legacyJournalName = "journal.jsonl"
+	segmentPrefix     = "journal-"
+	segmentSuffix     = ".jsonl"
+	snapshotName      = "caches.snap"
+	blobDirName       = "blobs"
+)
+
+// Persistence tuning defaults (see Options).
+const (
+	defaultSegmentBytes = 4 << 20  // rotate segments at 4 MiB
+	defaultInlineLimit  = 32 << 10 // spill payloads above 32 KiB
+	defaultCompactEvery = time.Minute
 )
 
 // eventKind tags one journal line.
@@ -48,6 +92,14 @@ const (
 	evDone      eventKind = "done"
 	evFailed    eventKind = "failed"
 	evCanceled  eventKind = "canceled"
+	// evSealed closes a job's provenance chain: appended automatically
+	// after the terminal event, carrying the Merkle root over the job's
+	// event hashes. No effect on replayed state.
+	evSealed eventKind = "sealed"
+	// evCheckpoint is one compacted job: the whole terminal record in a
+	// single synthetic event, with the original chain's leaves and root
+	// so inclusion proofs survive compaction.
+	evCheckpoint eventKind = "checkpoint"
 )
 
 // terminal reports whether the event ends a job's lifecycle.
@@ -61,11 +113,15 @@ type journalEvent struct {
 	Job  string    `json:"job"`
 	Time time.Time `json:"time"`
 	// Req rides on submitted events; it is everything needed to rerun
-	// the job deterministically (Seed, LibOffset included).
-	Req *SubmitRequest `json:"req,omitempty"`
+	// the job deterministically (Seed, LibOffset included). Above
+	// InlineLimit it is spilled and ReqRef names the blob instead.
+	Req    *SubmitRequest `json:"req,omitempty"`
+	ReqRef *blob.Ref      `json:"req_ref,omitempty"`
 	// Summary rides on done events; a replayed service serves it
-	// without rerunning the campaign.
-	Summary *ResultSummary `json:"summary,omitempty"`
+	// without rerunning the campaign. Above InlineLimit it is spilled
+	// and SummaryRef names the blob instead.
+	Summary    *ResultSummary `json:"summary,omitempty"`
+	SummaryRef *blob.Ref      `json:"summary_ref,omitempty"`
 	// Error rides on failed events.
 	Error string `json:"error,omitempty"`
 	// Worker rides on leased events (the lease holder) and on terminal
@@ -79,18 +135,148 @@ type journalEvent struct {
 	// (submits and cancels), linking the durable record back to access
 	// logs and client traces.
 	RID string `json:"rid,omitempty"`
+
+	// Hash is the event's provenance chain hash: SHA-256 over the
+	// previous event's hash and this event's canonical JSON (with Hash
+	// itself cleared). The first event of a chain hashes against "".
+	Hash string `json:"hash,omitempty"`
+	// Root rides on sealed and checkpoint events: the Merkle root over
+	// the job's event-hash leaves.
+	Root string `json:"root,omitempty"`
+
+	// Checkpoint-only fields: the collapsed terminal record.
+	State     JobState   `json:"state,omitempty"`
+	Submitted *time.Time `json:"submitted_at,omitempty"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	// Leaves are the original chain's event hashes, preserved so
+	// inclusion proofs keep verifying after the raw events are gone.
+	Leaves []string `json:"leaves,omitempty"`
 }
 
-// journal is the append-only, per-event-fsynced job event log.
+// eventHash computes an event's chain hash: SHA-256 over the previous
+// hash, a separator, and the event's canonical JSON with Hash cleared.
+// encoding/json marshals struct fields in declaration order and map
+// keys sorted, so the byte stream is deterministic and the verifier
+// can re-derive it from a parsed line.
+func eventHash(prev string, ev journalEvent) (string, error) {
+	ev.Hash = ""
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return "", fmt.Errorf("service: hashing journal event: %w", err)
+	}
+	h := sha256.New()
+	io.WriteString(h, prev)
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// provChain is one job's provenance state: the hashes of its events in
+// order (the Merkle leaves) and the chain head.
+type provChain struct {
+	leaves []string // event hashes in append order; excludes the sealed/checkpoint hash
+	last   string   // chain head: hash of the job's latest event (sealed/checkpoint included)
+	root   string   // Merkle root over leaves, set once sealed
+	sealed bool
+}
+
+// clone deep-copies the chain so staged appends can mutate freely and
+// commit only after the write is durable.
+func (c *provChain) clone() *provChain {
+	cp := *c
+	cp.leaves = append([]string(nil), c.leaves...)
+	return &cp
+}
+
+// hasLeaf reports whether h is already one of the chain's leaves —
+// how replay tolerates the duplicate events a crash mid-compaction
+// leaves behind (raw segments plus the checkpoint that replaces them).
+func (c *provChain) hasLeaf(h string) bool {
+	for _, l := range c.leaves {
+		if l == h {
+			return true
+		}
+	}
+	return false
+}
+
+// journal is the segmented, per-batch-fsynced job event log.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
-	// size tracks the segment's byte length for the exposition.
-	size int64
+	mu           sync.Mutex
+	dir          string
+	blobs        blob.Store
+	segmentBytes int64
+	inlineLimit  int
+	f            *os.File // active segment, opened for append
+	seqs         []uint64 // existing segment numbers, ascending; last is active
+	size         int64    // active segment's byte length
+	prov         map[string]*provChain
+	refs         map[string]int // blob hash → journaled reference count
 	// onAppend, when set, observes each batch: event count, bytes
-	// written, and the fsync's duration. Called outside jl.mu's hot
-	// path concerns — it must be cheap and non-blocking.
+	// written, and the fsync's duration. It must be cheap and
+	// non-blocking (called under jl.mu).
 	onAppend func(events, bytes int, fsync time.Duration)
+	// onRotate, when set, observes each segment rotation.
+	onRotate func()
+	// compactMu serializes compactions (see compact.go).
+	compactMu sync.Mutex
+}
+
+// segmentName formats a segment file name; the fixed-width sequence
+// keeps lexical and numeric order identical.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%s%010d%s", segmentPrefix, seq, segmentSuffix)
+}
+
+// parseSegmentSeq extracts the sequence number from a segment file
+// name; ok is false for anything else.
+func parseSegmentSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the existing segment sequence numbers, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: listing state dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegmentSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] < seqs[k] })
+	return seqs, nil
+}
+
+// sweepStateTemps removes *.tmp stragglers in the state dir's top
+// level: cache-snapshot and checkpoint-segment temp files abandoned by
+// a crash mid-write. (The blob store sweeps its own temps on Open.)
+// Nothing can be mid-write when the journal opens, so age does not
+// matter here. Older builds created snapshot temps named
+// "caches.snap.tmp-*", so match ".tmp" anywhere, not just as a suffix.
+func sweepStateTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // syncDir fsyncs a directory so a freshly created or renamed entry in
@@ -105,24 +291,140 @@ func syncDir(dir string) {
 	d.Close()
 }
 
-// openJournal opens (creating if needed) the journal for appending.
-func openJournal(dir string) (*journal, error) {
-	f, err := os.OpenFile(filepath.Join(dir, journalName),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openJournal opens the segmented journal in dir, returning the raw
+// event stream so the caller replays it without a second read. It
+// sweeps crash-leftover temp files, migrates a legacy single-file
+// journal into segment 1, rebuilds the provenance chains and blob
+// reference counts from the events, and opens the highest segment for
+// appending.
+func openJournal(dir string, blobs blob.Store, segmentBytes int64, inlineLimit int) (*journal, []journalEvent, error) {
+	sweepStateTemps(dir)
+	if segmentBytes <= 0 {
+		segmentBytes = defaultSegmentBytes
+	}
+	if inlineLimit == 0 {
+		inlineLimit = defaultInlineLimit
+	}
+	// Migrate a pre-segmentation journal by rename: its events become
+	// segment 1 and compact away like any other sealed segment.
+	legacy := filepath.Join(dir, legacyJournalName)
+	if _, err := os.Stat(legacy); err == nil {
+		if err := os.Rename(legacy, filepath.Join(dir, segmentName(1))); err != nil {
+			return nil, nil, fmt.Errorf("service: migrating legacy journal: %w", err)
+		}
+		syncDir(dir)
+	}
+	seqs, err := listSegments(dir)
 	if err != nil {
-		return nil, fmt.Errorf("service: opening journal: %w", err)
+		return nil, nil, err
+	}
+	if len(seqs) == 0 {
+		seqs = []uint64{1}
+	}
+	events, err := readSegments(dir, seqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	jl := &journal{
+		dir:          dir,
+		blobs:        blobs,
+		segmentBytes: segmentBytes,
+		inlineLimit:  inlineLimit,
+		seqs:         seqs,
+		prov:         make(map[string]*provChain),
+		refs:         make(map[string]int),
+	}
+	for _, ev := range events {
+		jl.absorb(ev)
+	}
+	active := filepath.Join(dir, segmentName(seqs[len(seqs)-1]))
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal segment: %w", err)
 	}
 	// Persist the directory entry too: an acked submit must survive
 	// power loss even when it was the journal's first event.
 	syncDir(dir)
-	jl := &journal{f: f}
+	jl.f = f
 	if st, err := f.Stat(); err == nil {
 		jl.size = st.Size()
 	}
-	return jl, nil
+	return jl, events, nil
 }
 
-// sizeBytes reports the current segment length.
+// absorb folds one replayed event into the provenance chains and blob
+// reference counts. Duplicate events (the crash-mid-compaction window
+// leaves raw segments alongside the checkpoint that replaces them) are
+// recognized by hash and counted once.
+func (jl *journal) absorb(ev journalEvent) {
+	// Every line on disk pins its refs, duplicates included: refs[h] is
+	// the count of journal lines referencing h, which compaction's
+	// line-for-line delta keeps exact. (A checkpoint restating raw
+	// events still left behind by an interrupted compaction references
+	// the same summary blob as the raw done event — two lines, count 2 —
+	// and its spilled request blob may be referenced by no other line.)
+	jl.addRefs(ev)
+	if ev.Kind == evCheckpoint {
+		// The checkpoint is the canonical chain now; whatever raw events
+		// preceded it carried the same leaves.
+		jl.prov[ev.Job] = &provChain{
+			leaves: append([]string(nil), ev.Leaves...),
+			last:   ev.Hash,
+			root:   ev.Root,
+			sealed: true,
+		}
+		return
+	}
+	if ev.Hash == "" {
+		return // pre-provenance (migrated legacy) event: no chain
+	}
+	c := jl.prov[ev.Job]
+	if c == nil {
+		c = &provChain{}
+		jl.prov[ev.Job] = c
+	}
+	if ev.Kind == evSealed {
+		if !c.sealed || c.last != ev.Hash { // duplicate-tolerant
+			c.root = ev.Root
+			c.sealed = true
+			c.last = ev.Hash
+		}
+		return
+	}
+	if c.hasLeaf(ev.Hash) {
+		return // duplicate from a crash-interrupted compaction
+	}
+	c.leaves = append(c.leaves, ev.Hash)
+	c.last = ev.Hash
+}
+
+// addRefs counts an event's blob references for GC pinning.
+func (jl *journal) addRefs(ev journalEvent) {
+	if ev.ReqRef != nil {
+		jl.refs[ev.ReqRef.SHA256]++
+	}
+	if ev.SummaryRef != nil {
+		jl.refs[ev.SummaryRef.SHA256]++
+	}
+}
+
+// hasRef reports whether any journaled event references the blob —
+// the mark phase of blob GC.
+func (jl *journal) hasRef(hash string) bool {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.refs[hash] > 0
+}
+
+// segmentCount reports how many segment files exist (for the metrics
+// exposition).
+func (jl *journal) segmentCount() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return len(jl.seqs)
+}
+
+// sizeBytes reports the active segment's length.
 func (jl *journal) sizeBytes() int64 {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
@@ -141,23 +443,92 @@ func (jl *journal) append(ev journalEvent) error {
 // this way — after a restart re-arms many dead workers' leases with
 // the same TTL, they all lapse on one tick, and per-event fsyncs there
 // would stall the scheduler mutex for the whole run of writes.
+//
+// Each event is spilled (payloads above InlineLimit move to the blob
+// store), chained (Hash set from the job's previous event), and — when
+// terminal — followed by an auto-appended sealed event carrying the
+// Merkle root over the job's event hashes. Chain state and blob
+// reference counts commit only after the fsync succeeds, so a failed
+// append leaves the in-memory provenance matching the disk.
 func (jl *journal) appendBatch(events []journalEvent) error {
 	if len(events) == 0 {
 		return nil
 	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("service: journal is closed")
+	}
 	var buf []byte
-	for _, ev := range events {
+	count := 0
+	staged := make(map[string]*provChain)
+	var stagedRefs []journalEvent
+	chainOf := func(job string) *provChain {
+		if c := staged[job]; c != nil {
+			return c
+		}
+		c := &provChain{}
+		if cur := jl.prov[job]; cur != nil {
+			c = cur.clone()
+		}
+		staged[job] = c
+		return c
+	}
+	appendLine := func(ev journalEvent) error {
 		b, err := json.Marshal(ev)
 		if err != nil {
 			return fmt.Errorf("service: encoding journal event: %w", err)
 		}
 		buf = append(buf, b...)
 		buf = append(buf, '\n')
+		count++
+		stagedRefs = append(stagedRefs, ev)
+		return nil
 	}
-	jl.mu.Lock()
-	defer jl.mu.Unlock()
-	if jl.f == nil {
-		return fmt.Errorf("service: journal is closed")
+	for _, ev := range events {
+		if err := jl.spill(&ev); err != nil {
+			return err
+		}
+		c := chainOf(ev.Job)
+		h, err := eventHash(c.last, ev)
+		if err != nil {
+			return err
+		}
+		ev.Hash = h
+		c.leaves = append(c.leaves, h)
+		c.last = h
+		if err := appendLine(ev); err != nil {
+			return err
+		}
+		if ev.Kind.terminal() && !c.sealed {
+			leaves, err := decodeLeaves(c.leaves)
+			if err != nil {
+				return err
+			}
+			seal := journalEvent{
+				Kind: evSealed,
+				Job:  ev.Job,
+				Time: ev.Time,
+				Root: hex.EncodeToString(merkle.Root(leaves)),
+			}
+			if seal.Hash, err = eventHash(c.last, seal); err != nil {
+				return err
+			}
+			c.last = seal.Hash
+			c.root = seal.Root
+			c.sealed = true
+			if err := appendLine(seal); err != nil {
+				return err
+			}
+		}
+	}
+	// Rotate before writing so a batch never splits across segments —
+	// compaction and provenance both rely on a job's terminal and
+	// sealed events landing in the same segment.
+	if jl.size > 0 && jl.size+int64(len(buf)) > jl.segmentBytes {
+		if err := jl.rotateLocked(); err != nil {
+			return err
+		}
 	}
 	if _, err := jl.f.Write(buf); err != nil {
 		return fmt.Errorf("service: appending journal event: %w", err)
@@ -167,8 +538,82 @@ func (jl *journal) appendBatch(events []journalEvent) error {
 		return fmt.Errorf("service: syncing journal: %w", err)
 	}
 	jl.size += int64(len(buf))
+	for job, c := range staged {
+		jl.prov[job] = c
+	}
+	for _, ev := range stagedRefs {
+		jl.addRefs(ev)
+	}
 	if jl.onAppend != nil {
-		jl.onAppend(len(events), len(buf), time.Since(start))
+		jl.onAppend(count, len(buf), time.Since(start))
+	}
+	return nil
+}
+
+// spill moves payloads above InlineLimit to the blob store, replacing
+// them with refs. A negative InlineLimit disables spilling.
+func (jl *journal) spill(ev *journalEvent) error {
+	if jl.inlineLimit < 0 || jl.blobs == nil {
+		return nil
+	}
+	if ev.Req != nil {
+		b, err := json.Marshal(ev.Req)
+		if err != nil {
+			return fmt.Errorf("service: encoding submit request: %w", err)
+		}
+		if len(b) > jl.inlineLimit {
+			ref, err := jl.blobs.Put(b)
+			if err != nil {
+				return fmt.Errorf("service: spilling submit request: %w", err)
+			}
+			ev.Req, ev.ReqRef = nil, &ref
+		}
+	}
+	if ev.Summary != nil {
+		b, err := json.Marshal(ev.Summary)
+		if err != nil {
+			return fmt.Errorf("service: encoding result summary: %w", err)
+		}
+		if len(b) > jl.inlineLimit {
+			ref, err := jl.blobs.Put(b)
+			if err != nil {
+				return fmt.Errorf("service: spilling result summary: %w", err)
+			}
+			ev.Summary, ev.SummaryRef = nil, &ref
+		}
+	}
+	return nil
+}
+
+// decodeLeaves converts hex chain hashes to Merkle leaves.
+func decodeLeaves(hexes []string) ([][]byte, error) {
+	leaves := make([][]byte, len(hexes))
+	for i, s := range hexes {
+		b, err := hex.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("service: malformed chain hash %q: %w", s, err)
+		}
+		leaves[i] = b
+	}
+	return leaves, nil
+}
+
+// rotateLocked seals the active segment and opens the next one.
+// Callers hold jl.mu.
+func (jl *journal) rotateLocked() error {
+	next := jl.seqs[len(jl.seqs)-1] + 1
+	f, err := os.OpenFile(filepath.Join(jl.dir, segmentName(next)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: rotating journal segment: %w", err)
+	}
+	syncDir(jl.dir)
+	_ = jl.f.Close()
+	jl.f = f
+	jl.seqs = append(jl.seqs, next)
+	jl.size = 0
+	if jl.onRotate != nil {
+		jl.onRotate()
 	}
 	return nil
 }
@@ -185,64 +630,158 @@ func (jl *journal) close() error {
 	return err
 }
 
-// readJournal parses the journal's events in order. A line that does
-// not parse — a write torn by the crash the journal exists to survive —
-// is skipped rather than failing the whole replay. A missing file is
-// an empty journal.
-func readJournal(dir string) ([]journalEvent, error) {
-	f, err := os.Open(filepath.Join(dir, journalName))
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("service: reading journal: %w", err)
-	}
-	defer f.Close()
+// readSegments parses the given segments' events in order. A line that
+// does not parse — a write torn by the crash the journal exists to
+// survive — is skipped rather than failing the whole replay. A missing
+// segment file is empty (the journal may never have been written).
+func readSegments(dir string, seqs []uint64) ([]journalEvent, error) {
 	var events []journalEvent
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	for sc.Scan() {
-		var ev journalEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Job == "" {
+	for _, seq := range seqs {
+		f, err := os.Open(filepath.Join(dir, segmentName(seq)))
+		if os.IsNotExist(err) {
 			continue
 		}
-		events = append(events, ev)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("service: scanning journal: %w", err)
+		if err != nil {
+			return nil, fmt.Errorf("service: reading journal segment: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+		for sc.Scan() {
+			var ev journalEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil || ev.Job == "" {
+				continue
+			}
+			events = append(events, ev)
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("service: scanning journal segment: %w", err)
+		}
 	}
 	return events, nil
 }
 
+// readJournal parses every event in the state dir's journal, in
+// segment order — the offline entry point (verifier, tests).
+func readJournal(dir string) ([]journalEvent, error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return readSegments(dir, seqs)
+}
+
+// jobNumber extracts the numeric suffix of a "job-%06d" ID; ok is
+// false for foreign IDs.
+func jobNumber(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n, err == nil
+}
+
 // replayJournal reduces the event stream to restorable job records in
-// first-submission order, plus the highest job number seen (so a
-// reopened scheduler continues the ID sequence without collisions).
-// Jobs left non-terminal by the stream come back StateQueued with a
-// fresh cancel channel, ready to re-enqueue — except jobs whose last
-// event is a lease, which come back StateLeased with the holder
-// preserved so the worker can re-attach across the restart; duplicate
-// started events (a job interrupted once already) simply overwrite the
-// start time.
-func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
+// submission order, plus the highest job number seen (so a reopened
+// scheduler continues the ID sequence without collisions). Jobs left
+// non-terminal by the stream come back StateQueued with a fresh cancel
+// channel, ready to re-enqueue — except jobs whose last event is a
+// lease, which come back StateLeased with the holder preserved so the
+// worker can re-attach across the restart; duplicate started events (a
+// job interrupted once already) simply overwrite the start time.
+//
+// Spilled SubmitRequests are resolved eagerly through blobs (listings
+// and reruns need Target and Seed); spilled summaries stay refs and
+// resolve lazily on the first Result call — cold-start replay cost
+// scales with event count, not artifact bytes. A checkpoint event
+// restores the whole terminal record in one step.
+func replayJournal(events []journalEvent, blobs blob.Store) (jobs []*job, maxID int) {
 	byID := make(map[string]*job)
-	for _, ev := range events {
+	note := func(j *job) {
+		// Upsert: in the crash-mid-compaction window the raw events
+		// replay first and the checkpoint re-states the same record.
+		if old := byID[j.id]; old != nil {
+			for i, e := range jobs {
+				if e == old {
+					jobs[i] = j
+					break
+				}
+			}
+		} else {
+			jobs = append(jobs, j)
+		}
+		byID[j.id] = j
+		if n, ok := jobNumber(j.id); ok && n > maxID {
+			maxID = n
+		}
+	}
+	resolveReq := func(ev *journalEvent) *SubmitRequest {
+		if ev.Req != nil {
+			return ev.Req
+		}
+		if ev.ReqRef == nil || blobs == nil {
+			return nil
+		}
+		data, err := blobs.Get(*ev.ReqRef)
+		if err != nil {
+			return nil // unreadable artifact: the job is unrecoverable, skip it
+		}
+		var req SubmitRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return nil
+		}
+		return &req
+	}
+	for i := range events {
+		ev := events[i]
+		if ev.Kind == evCheckpoint {
+			req := resolveReq(&ev)
+			if req == nil {
+				continue
+			}
+			j := &job{
+				id:          ev.Job,
+				req:         *req,
+				state:       ev.State,
+				finished:    ev.Time,
+				err:         ev.Error,
+				leaseWorker: ev.Worker,
+				cancel:      make(chan struct{}),
+			}
+			if ev.Submitted != nil {
+				j.submitted = *ev.Submitted
+			}
+			if ev.Started != nil {
+				j.started = *ev.Started
+			}
+			if ev.State == StateDone {
+				j.progress = 1
+				if ev.Summary != nil {
+					j.result = &jobResult{summary: *ev.Summary}
+				} else if ev.SummaryRef != nil {
+					j.summaryRef = ev.SummaryRef
+				}
+			}
+			note(j)
+			continue
+		}
 		j := byID[ev.Job]
 		if j == nil {
-			if ev.Kind != evSubmitted || ev.Req == nil {
+			if ev.Kind != evSubmitted {
 				continue // event for a job whose submission was lost
 			}
-			j = &job{
+			req := resolveReq(&ev)
+			if req == nil {
+				continue
+			}
+			note(&job{
 				id:        ev.Job,
-				req:       *ev.Req,
+				req:       *req,
 				state:     StateQueued,
 				submitted: ev.Time,
 				cancel:    make(chan struct{}),
-			}
-			byID[ev.Job] = j
-			jobs = append(jobs, j)
-			if n, err := strconv.Atoi(strings.TrimPrefix(ev.Job, "job-")); err == nil && n > maxID {
-				maxID = n
-			}
+			})
 			continue
 		}
 		if ev.Worker != "" {
@@ -266,6 +805,8 @@ func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 			j.progress = 1
 			if ev.Summary != nil {
 				j.result = &jobResult{summary: *ev.Summary}
+			} else if ev.SummaryRef != nil {
+				j.summaryRef = ev.SummaryRef
 			}
 		case evFailed:
 			j.state = StateFailed //impeccable:unjournaled replay applies states read from the journal itself
@@ -285,6 +826,17 @@ func replayJournal(events []journalEvent) (jobs []*job, maxID int) {
 			j.started = time.Time{}
 		}
 	}
+	// Checkpoint events replay before the raw events of jobs that
+	// outlived compaction, so encounter order is not submission order;
+	// job numbers are.
+	sort.Slice(jobs, func(i, k int) bool {
+		ni, iok := jobNumber(jobs[i].id)
+		nk, kok := jobNumber(jobs[k].id)
+		if iok && kok {
+			return ni < nk
+		}
+		return jobs[i].id < jobs[k].id
+	})
 	return jobs, maxID
 }
 
@@ -294,55 +846,126 @@ type cacheSnapshot struct {
 	Features []FeatureEntry
 }
 
-// saveSnapshot checkpoints both caches into dir atomically (temp file
-// then rename), so a crash mid-snapshot leaves the previous checkpoint
-// intact.
-func saveSnapshot(dir string, scores *ScoreCache, features *FeatureCache) error {
-	tmp, err := os.CreateTemp(dir, snapshotName+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("service: creating snapshot temp file: %w", err)
-	}
+// snapshotManifest is what caches.snap holds now: the ref of the
+// gob-encoded checkpoint blob. Keeping the (small) manifest at a fixed
+// name and the (large) payload content-addressed means an unchanged
+// cache costs nothing to re-checkpoint — same bytes, same hash, same
+// blob.
+type snapshotManifest struct {
+	Blob    blob.Ref  `json:"blob"`
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// encodeSnapshot gob-encodes the caches deterministically: exports are
+// walked shard by shard in whatever order the maps yield, so both
+// slices are sorted before encoding — identical cache content must
+// produce identical bytes for the content-addressed dedupe to work.
+func encodeSnapshot(scores *ScoreCache, features *FeatureCache) ([]byte, error) {
 	snap := cacheSnapshot{Scores: scores.Export(), Features: features.Export()}
-	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+	sort.Slice(snap.Scores, func(i, k int) bool {
+		a, b := &snap.Scores[i], &snap.Scores[k]
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		for w := range a.FP {
+			if a.FP[w] != b.FP[w] {
+				return a.FP[w] < b.FP[w]
+			}
+		}
+		return false
+	})
+	sort.Slice(snap.Features, func(i, k int) bool {
+		return snap.Features[i].ID < snap.Features[k].ID
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("service: encoding cache snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// saveSnapshot checkpoints both caches: the gob payload goes to the
+// blob store, and the manifest naming it is written atomically (temp
+// file then rename), so a crash mid-snapshot leaves the previous
+// checkpoint intact. Returns the payload's ref and whether the write
+// was skipped because the cache content had not changed since prev.
+func saveSnapshot(dir string, store blob.Store, scores *ScoreCache, features *FeatureCache, prev *blob.Ref) (blob.Ref, bool, error) {
+	data, err := encodeSnapshot(scores, features)
+	if err != nil {
+		return blob.Ref{}, false, err
+	}
+	if prev != nil && prev.SHA256 == blob.SumHex(data) {
+		return *prev, true, nil
+	}
+	ref, err := store.Put(data)
+	if err != nil {
+		return blob.Ref{}, false, fmt.Errorf("service: storing cache snapshot: %w", err)
+	}
+	mf, err := json.Marshal(snapshotManifest{Blob: ref, SavedAt: time.Now()})
+	if err != nil {
+		return blob.Ref{}, false, fmt.Errorf("service: encoding snapshot manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, snapshotName+"-*.tmp")
+	if err != nil {
+		return blob.Ref{}, false, fmt.Errorf("service: creating snapshot temp file: %w", err)
+	}
+	if _, err := tmp.Write(mf); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: encoding cache snapshot: %w", err)
+		return blob.Ref{}, false, fmt.Errorf("service: writing snapshot manifest: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: syncing cache snapshot: %w", err)
+		return blob.Ref{}, false, fmt.Errorf("service: syncing snapshot manifest: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: closing cache snapshot: %w", err)
+		return blob.Ref{}, false, fmt.Errorf("service: closing snapshot manifest: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotName)); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: installing cache snapshot: %w", err)
+		return blob.Ref{}, false, fmt.Errorf("service: installing snapshot manifest: %w", err)
 	}
 	syncDir(dir)
-	return nil
+	return ref, false, nil
 }
 
-// loadSnapshot imports a previously saved checkpoint into the caches.
-// A missing snapshot is a cold start, not an error; an unreadable one
-// is also tolerated (the caches refill from real work) — durable job
-// state lives in the journal, never here.
-func loadSnapshot(dir string, scores *ScoreCache, features *FeatureCache) error {
-	f, err := os.Open(filepath.Join(dir, snapshotName))
+// loadSnapshot imports a previously saved checkpoint into the caches,
+// returning the ref of the live snapshot blob (nil when there is
+// none). A missing snapshot is a cold start, not an error; an
+// unreadable manifest, blob or legacy file is also tolerated (the
+// caches refill from real work) — durable job state lives in the
+// journal, never here. Pre-manifest snapshots (raw gob at the manifest
+// path) still load, so old state dirs stay warm across the upgrade.
+func loadSnapshot(dir string, store blob.Store, scores *ScoreCache, features *FeatureCache) (*blob.Ref, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotName))
 	if os.IsNotExist(err) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return fmt.Errorf("service: opening cache snapshot: %w", err)
+		return nil, fmt.Errorf("service: opening cache snapshot: %w", err)
 	}
-	defer f.Close()
 	var snap cacheSnapshot
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
-		return nil // torn snapshot: start cold
+	var mf snapshotManifest
+	if err := json.Unmarshal(raw, &mf); err == nil && mf.Blob.SHA256 != "" {
+		data, err := store.Get(mf.Blob)
+		if err != nil {
+			return nil, nil // missing or corrupt blob: start cold
+		}
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+			return nil, nil
+		}
+		scores.Import(snap.Scores)
+		features.Import(snap.Features)
+		ref := mf.Blob
+		return &ref, nil
+	}
+	// Legacy format: the snapshot itself, gob-encoded at the fixed path.
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+		return nil, nil // torn snapshot: start cold
 	}
 	scores.Import(snap.Scores)
 	features.Import(snap.Features)
-	return nil
+	return nil, nil
 }

@@ -8,8 +8,24 @@ import (
 	"testing"
 	"time"
 
+	"impeccable/internal/blob"
 	"impeccable/internal/campaign"
 )
+
+// testJournal opens a journal over a fresh blob store in dir with
+// default tuning.
+func testJournal(t *testing.T, dir string) *journal {
+	t.Helper()
+	store, err := blob.Open(filepath.Join(dir, blobDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, _, err := openJournal(dir, store, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jl
+}
 
 // science projects FunnelCounts down to the seed-deterministic fields:
 // the cost ledger (DockEvals, DockCacheHits) varies with cache warmth
@@ -304,7 +320,7 @@ func TestReplayJournal(t *testing.T) {
 		{Kind: evStarted, Job: "job-000099", Time: t0}, // submission lost: dropped
 		{Kind: evSubmitted, Job: "job-000007", Time: t0.Add(6 * time.Second), Req: &req},
 	}
-	jobs, maxID := replayJournal(events)
+	jobs, maxID := replayJournal(events, nil)
 	if maxID != 7 {
 		t.Fatalf("maxID = %d, want 7", maxID)
 	}
@@ -339,10 +355,7 @@ func TestReplayJournal(t *testing.T) {
 // must not poison the replayable prefix.
 func TestReadJournalToleratesTornWrite(t *testing.T) {
 	dir := t.TempDir()
-	jl, err := openJournal(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	jl := testJournal(t, dir)
 	req := smallReq()
 	if err := jl.append(journalEvent{Kind: evSubmitted, Job: "job-000001", Time: time.Now(), Req: &req}); err != nil {
 		t.Fatal(err)
@@ -350,7 +363,7 @@ func TestReadJournalToleratesTornWrite(t *testing.T) {
 	if err := jl.close(); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(1)), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,13 +384,11 @@ func TestReadJournalToleratesTornWrite(t *testing.T) {
 }
 
 // TestJournalEventRoundTrip pins the on-disk shape: one JSON object per
-// line with the SubmitRequest and ResultSummary payloads intact.
+// line with the SubmitRequest and ResultSummary payloads intact, plus
+// the auto-appended sealed event closing the provenance chain.
 func TestJournalEventRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	jl, err := openJournal(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	jl := testJournal(t, dir)
 	req := smallReq()
 	req.LibOffset = 1234
 	sum := ResultSummary{ScientificYield: 2.5}
@@ -404,8 +415,8 @@ func TestJournalEventRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("read %d events, want 3", len(got))
+	if len(got) != 4 {
+		t.Fatalf("read %d events, want 4 (3 appended + auto-sealed)", len(got))
 	}
 	if got[0].Req.LibOffset != 1234 {
 		t.Fatalf("LibOffset lost: %+v", got[0].Req)
@@ -413,8 +424,16 @@ func TestJournalEventRoundTrip(t *testing.T) {
 	if got[2].Summary.ScientificYield != 2.5 {
 		t.Fatalf("summary lost: %+v", got[2].Summary)
 	}
+	if got[3].Kind != evSealed || got[3].Root == "" {
+		t.Fatalf("terminal event not followed by a sealed root: %+v", got[3])
+	}
+	for i, ev := range got {
+		if ev.Hash == "" {
+			t.Fatalf("event %d has no chain hash: %+v", i, ev)
+		}
+	}
 	// Each line must be standalone JSON (jq-able operator tooling).
-	raw, err := os.ReadFile(filepath.Join(dir, journalName))
+	raw, err := os.ReadFile(filepath.Join(dir, segmentName(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,10 +454,14 @@ func bytesIndex(b []byte, c byte) int {
 	return -1
 }
 
-// TestSnapshotRoundTrip checkpoints warm caches and restores them into
-// cold ones.
+// TestSnapshotRoundTrip checkpoints warm caches through the blob store
+// and restores them into cold ones.
 func TestSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
+	store, err := blob.Open(filepath.Join(dir, blobDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
 	scores := NewScoreCache(4, 0)
 	features := NewFeatureCache(4, 0)
 	view := scores.ForTarget("PLPro")
@@ -446,13 +469,30 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		view.Put(molForTest(id), mockResult(id))
 		features.Features(id)
 	}
-	if err := saveSnapshot(dir, scores, features); err != nil {
+	ref, skipped, err := saveSnapshot(dir, store, scores, features, nil)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped {
+		t.Fatal("first snapshot reported as skipped")
+	}
+	// An unchanged cache dedupes against the previous checkpoint: same
+	// bytes, same hash, no new write.
+	ref2, skipped, err := saveSnapshot(dir, store, scores, features, &ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skipped || ref2 != ref {
+		t.Fatalf("unchanged re-checkpoint: skipped=%v ref=%v want %v", skipped, ref2, ref)
 	}
 	scores2 := NewScoreCache(8, 0) // different shard width on purpose
 	features2 := NewFeatureCache(8, 0)
-	if err := loadSnapshot(dir, scores2, features2); err != nil {
+	got, err := loadSnapshot(dir, store, scores2, features2)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if got == nil || got.SHA256 != ref.SHA256 {
+		t.Fatalf("loadSnapshot ref = %v, want %v", got, ref)
 	}
 	if scores2.Len() != scores.Len() {
 		t.Fatalf("restored %d score entries, want %d", scores2.Len(), scores.Len())
@@ -469,7 +509,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("restored %d feature entries, want 20", st.Entries)
 	}
 	// Missing snapshot dir: cold start, not an error.
-	if err := loadSnapshot(t.TempDir(), NewScoreCache(2, 0), NewFeatureCache(2, 0)); err != nil {
+	cold := t.TempDir()
+	coldStore, err := blob.Open(filepath.Join(cold, blobDirName))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if ref, err := loadSnapshot(cold, coldStore, NewScoreCache(2, 0), NewFeatureCache(2, 0)); err != nil || ref != nil {
+		t.Fatalf("cold start: ref=%v err=%v", ref, err)
 	}
 }

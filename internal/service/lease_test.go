@@ -469,7 +469,7 @@ func TestReplayJournalLeases(t *testing.T) {
 		{Kind: evLeased, Job: "job-000003", Time: t0.Add(time.Second), Worker: "w2"},
 		{Kind: evDone, Job: "job-000003", Time: t0.Add(time.Minute), Worker: "w2", Summary: &sum},
 	}
-	jobs, maxID := replayJournal(events)
+	jobs, maxID := replayJournal(events, nil)
 	if maxID != 3 || len(jobs) != 3 {
 		t.Fatalf("replayed %d jobs, maxID %d", len(jobs), maxID)
 	}

@@ -40,10 +40,19 @@ type metrics struct {
 	leaseRequeues   *obs.Counter
 	leasesActive    *obs.Gauge
 
-	journalAppends *obs.Counter
-	journalBytes   *obs.Counter
-	journalSize    *obs.Gauge
-	journalFsync   *obs.Histogram
+	journalAppends           *obs.Counter
+	journalBytes             *obs.Counter
+	journalSize              *obs.Gauge
+	journalSegments          *obs.Gauge
+	journalRotations         *obs.Counter
+	journalCompactions       *obs.Counter
+	journalCompactionSeconds *obs.Histogram
+	journalFsync             *obs.Histogram
+
+	blobObjects *obs.Gauge
+	blobBytes   *obs.Gauge
+	blobPuts    *obs.Counter
+	blobDeletes *obs.Counter
 
 	snapshots       *obs.Counter
 	snapshotSeconds *obs.Histogram
@@ -103,9 +112,26 @@ func newMetrics() *metrics {
 	m.journalBytes = reg.Counter("impeccable_journal_append_bytes_total",
 		"Bytes appended to the write-ahead journal.")
 	m.journalSize = reg.Gauge("impeccable_journal_size_bytes",
-		"Current size of the journal segment.")
+		"Current size of the active journal segment.")
+	m.journalSegments = reg.Gauge("impeccable_journal_segments",
+		"Journal segment files on disk (sealed plus active).")
+	m.journalRotations = reg.Counter("impeccable_journal_rotations_total",
+		"Journal segment rotations (active segment sealed at SegmentBytes).")
+	m.journalCompactions = reg.Counter("impeccable_journal_compactions_total",
+		"Compactions that rewrote sealed segments into a checkpoint segment.")
+	m.journalCompactionSeconds = reg.Histogram("impeccable_journal_compaction_seconds",
+		"Wall-clock duration of journal compactions.", nil)
 	m.journalFsync = reg.Histogram("impeccable_journal_fsync_seconds",
 		"Latency of journal fsyncs (one per append batch).", nil)
+
+	m.blobObjects = reg.Gauge("impeccable_blob_store_objects",
+		"Objects in the content-addressed artifact store.")
+	m.blobBytes = reg.Gauge("impeccable_blob_store_bytes",
+		"Bytes stored in the content-addressed artifact store.")
+	m.blobPuts = reg.Counter("impeccable_blob_store_puts_total",
+		"Objects written to the artifact store (dedup hits excluded).")
+	m.blobDeletes = reg.Counter("impeccable_blob_store_deletes_total",
+		"Objects removed from the artifact store (explicit deletes and GC sweeps).")
 
 	m.snapshots = reg.Counter("impeccable_snapshots_total",
 		"Cache checkpoints written.")
@@ -204,6 +230,14 @@ func (s *Service) registerCollectors() {
 		m.cachePuts.With("feature").Set(float64(s.features.Stats().Puts))
 		if s.jl != nil {
 			m.journalSize.Set(float64(s.jl.sizeBytes()))
+			m.journalSegments.Set(float64(s.jl.segmentCount()))
+		}
+		if s.blobs != nil {
+			st := s.blobs.Stats()
+			m.blobObjects.Set(float64(st.Objects))
+			m.blobBytes.Set(float64(st.Bytes))
+			m.blobPuts.Set(float64(st.Puts))
+			m.blobDeletes.Set(float64(st.Deletes))
 		}
 	})
 }
@@ -276,16 +310,17 @@ func sanitizeRequestID(rid string) string {
 // metrics; anything else (404 noise, scanners) aggregates under
 // "other" so unbounded request paths cannot mint unbounded series.
 var knownRoutes = map[string]bool{
-	"/api/v1/campaigns":             true,
-	"/api/v1/campaigns/{id}":        true,
-	"/api/v1/campaigns/{id}/result": true,
-	"/api/v1/campaigns/{id}/events": true,
-	"/api/v1/cache":                 true,
-	"/api/v1/worker/lease":          true,
-	"/api/v1/worker/heartbeat":      true,
-	"/api/v1/worker/complete":       true,
-	"/healthz":                      true,
-	"/metrics":                      true,
+	"/api/v1/campaigns":                 true,
+	"/api/v1/campaigns/{id}":            true,
+	"/api/v1/campaigns/{id}/result":     true,
+	"/api/v1/campaigns/{id}/events":     true,
+	"/api/v1/campaigns/{id}/provenance": true,
+	"/api/v1/cache":                     true,
+	"/api/v1/worker/lease":              true,
+	"/api/v1/worker/heartbeat":          true,
+	"/api/v1/worker/complete":           true,
+	"/healthz":                          true,
+	"/metrics":                          true,
 }
 
 // routeLabel normalizes a request path to its route pattern.

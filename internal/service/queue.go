@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"impeccable/internal/blob"
 )
 
 // JobState is the lifecycle state of a submitted campaign.
@@ -56,15 +58,19 @@ type job struct {
 	id  string
 	req SubmitRequest
 
-	mu         sync.Mutex
-	state      JobState
-	stage      string  // last reported campaign stage
-	progress   float64 // approximate completed fraction [0,1]
-	err        string
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
-	result     *jobResult
+	mu        sync.Mutex
+	state     JobState
+	stage     string  // last reported campaign stage
+	progress  float64 // approximate completed fraction [0,1]
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *jobResult
+	// summaryRef points at the job's spilled ResultSummary in the blob
+	// store when replay restored the job from a ref instead of an
+	// inline summary; Service.Result resolves and caches it lazily.
+	summaryRef *blob.Ref
 	cancel     chan struct{}
 	cancelOnce sync.Once
 	// drainCanceled marks a job interrupted by a graceful drain rather
@@ -1033,6 +1039,20 @@ func (s *scheduler) pruneTerminal() {
 	// End the pruned jobs' event streams so their subscribers (and ring
 	// memory) go away with the records.
 	s.bus.drop(terminal[:drop])
+}
+
+// retainedIDs snapshots the IDs currently in the job table — what a
+// restart should still list. Journal compaction drops closed jobs
+// outside this set, so the prune horizon (MaxJobRecords) holds on
+// disk as well as in memory.
+func (s *scheduler) retainedIDs() map[string]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]struct{}, len(s.jobs))
+	for id := range s.jobs {
+		out[id] = struct{}{}
+	}
+	return out
 }
 
 // jobsInOrder returns every job in submission order.

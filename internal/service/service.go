@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"impeccable/internal/blob"
 	"impeccable/internal/campaign"
 	"impeccable/internal/dock"
 	"impeccable/internal/receptor"
@@ -40,9 +43,11 @@ type Options struct {
 	// mid-stream. Individual submissions can also opt in per job.
 	Streaming bool
 	// StateDir, when non-empty, makes the service crash-safe: job
-	// lifecycle events are written ahead to <StateDir>/journal.jsonl
-	// (fsynced per event) and the score/feature caches are periodically
-	// checkpointed to <StateDir>/caches.snap. Open replays the journal:
+	// lifecycle events are written ahead to segmented
+	// <StateDir>/journal-<seq>.jsonl files (fsynced per batch), large
+	// payloads spill to the content-addressed <StateDir>/blobs store,
+	// and the score/feature caches are periodically checkpointed via
+	// the <StateDir>/caches.snap manifest. Open replays the journal:
 	// terminal jobs are served from their persisted summaries, and jobs
 	// that were queued or running at crash time are re-enqueued under
 	// their original IDs (Seed and LibOffset preserved, so reruns are
@@ -52,6 +57,21 @@ type Options struct {
 	// when StateDir is set; 0 means 30s. A checkpoint is also taken
 	// after every job that reaches a terminal state and at Shutdown.
 	SnapshotEvery time.Duration
+	// SegmentBytes is the journal's rotation threshold: the active
+	// journal-<seq>.jsonl segment seals once it would exceed this many
+	// bytes, and sealed segments compact into checkpoint events so
+	// replay scales with live+retained jobs. 0 means 4 MiB.
+	SegmentBytes int64
+	// InlineLimit is the largest event payload (SubmitRequest,
+	// ResultSummary) kept inline in a journal line; bigger payloads
+	// spill to the content-addressed blob store under
+	// <StateDir>/blobs and the line carries a {sha256, size} ref.
+	// 0 means 32 KiB; negative disables spilling.
+	InlineLimit int
+	// CompactEvery is the cadence of journal compaction and blob GC
+	// when StateDir is set; 0 means 1m, negative disables the loop
+	// (CompactNow still works).
+	CompactEvery time.Duration
 	// MaxJobRecords bounds how many terminal jobs stay in the
 	// in-memory job table (and so in listings); the oldest terminal
 	// records are pruned first, queued/running jobs never. 0 means
@@ -98,8 +118,10 @@ type Service struct {
 	// Persistence (zero-valued when Options.StateDir is empty).
 	stateDir string
 	jl       *journal
-	snapMu   sync.Mutex    // serializes checkpoint writers
-	snapStop chan struct{} // stops the periodic snapshotter
+	blobs    blob.Store
+	snapMu   sync.Mutex    // serializes checkpoint writers; guards snapRef
+	snapRef  *blob.Ref     // the live cache-snapshot blob (GC pin)
+	snapStop chan struct{} // stops the snapshot and compaction loops
 	snapWG   sync.WaitGroup
 	stopOnce sync.Once // persistence teardown runs once
 }
@@ -204,22 +226,25 @@ func Open(opts Options) (*Service, error) {
 		if err := os.MkdirAll(s.stateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: creating state dir: %w", err)
 		}
-		if err := loadSnapshot(s.stateDir, s.scores, s.features); err != nil {
-			return nil, err
-		}
-		events, err := readJournal(s.stateDir)
+		blobs, err := blob.Open(filepath.Join(s.stateDir, blobDirName))
 		if err != nil {
 			return nil, err
 		}
-		replayed, maxID = replayJournal(events)
-		if s.jl, err = openJournal(s.stateDir); err != nil {
+		s.blobs = blobs
+		var events []journalEvent
+		if s.jl, events, err = openJournal(s.stateDir, blobs, opts.SegmentBytes, opts.InlineLimit); err != nil {
 			return nil, err
 		}
+		if s.snapRef, err = loadSnapshot(s.stateDir, blobs, s.scores, s.features); err != nil {
+			return nil, err
+		}
+		replayed, maxID = replayJournal(events, blobs)
 		s.jl.onAppend = func(events, bytes int, fsync time.Duration) {
 			s.met.journalAppends.Add(float64(events))
 			s.met.journalBytes.Add(float64(bytes))
 			s.met.journalFsync.Observe(fsync.Seconds())
 		}
+		s.jl.onRotate = func() { s.met.journalRotations.Inc() }
 		cfg.record = s.jl.append
 		cfg.recordBatch = s.jl.appendBatch
 		cfg.onTerminal = func() { _ = s.Snapshot() }
@@ -237,6 +262,14 @@ func Open(opts Options) (*Service, error) {
 		}
 		s.snapWG.Add(1)
 		go s.snapshotLoop(every)
+		if opts.CompactEvery >= 0 {
+			compactEvery := opts.CompactEvery
+			if compactEvery == 0 {
+				compactEvery = defaultCompactEvery
+			}
+			s.snapWG.Add(1)
+			go s.compactLoop(compactEvery)
+		}
 	}
 	return s, nil
 }
@@ -257,8 +290,11 @@ func (s *Service) snapshotLoop(every time.Duration) {
 	}
 }
 
-// Snapshot checkpoints the score and feature caches to StateDir
-// atomically (temp file + rename). A no-op without a StateDir.
+// Snapshot checkpoints the score and feature caches: the gob payload
+// goes to the content-addressed blob store and a small manifest naming
+// it is installed atomically (temp file + rename). An unchanged cache
+// dedupes to the existing blob and skips the write entirely. A no-op
+// without a StateDir.
 func (s *Service) Snapshot() error {
 	if s.stateDir == "" {
 		return nil
@@ -266,10 +302,13 @@ func (s *Service) Snapshot() error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	start := time.Now()
-	err := saveSnapshot(s.stateDir, s.scores, s.features)
+	ref, skipped, err := saveSnapshot(s.stateDir, s.blobs, s.scores, s.features, s.snapRef)
 	if err == nil {
-		s.met.snapshots.Inc()
-		s.met.snapshotSeconds.Observe(time.Since(start).Seconds())
+		s.snapRef = &ref
+		if !skipped {
+			s.met.snapshots.Inc()
+			s.met.snapshotSeconds.Observe(time.Since(start).Seconds())
+		}
 	}
 	return err
 }
@@ -613,11 +652,39 @@ func (s *Service) Result(id string) (ResultSummary, error) {
 	switch {
 	case j.state == StateDone && j.result != nil:
 		return j.result.summary, nil
+	case j.state == StateDone && j.summaryRef != nil:
+		// The summary was spilled to the blob store (journal replay
+		// resolves artifacts lazily, so cold starts scale with event
+		// count, not artifact bytes). Resolve and cache it now; the read
+		// is hash-verified, so a corrupt artifact surfaces here instead
+		// of being served.
+		sum, err := s.resolveSummary(j.summaryRef)
+		if err != nil {
+			return ResultSummary{}, fmt.Errorf("service: job %s summary: %w", id, err)
+		}
+		j.result = &jobResult{summary: *sum}
+		return *sum, nil
 	case j.state.Terminal():
 		return ResultSummary{}, fmt.Errorf("%w: job %s is %s", ErrNoResult, id, j.state)
 	default:
 		return ResultSummary{}, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
 	}
+}
+
+// resolveSummary loads a spilled ResultSummary from the blob store.
+func (s *Service) resolveSummary(ref *blob.Ref) (*ResultSummary, error) {
+	if s.blobs == nil {
+		return nil, fmt.Errorf("no blob store attached")
+	}
+	data, err := s.blobs.Get(*ref)
+	if err != nil {
+		return nil, err
+	}
+	var sum ResultSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, fmt.Errorf("decoding summary artifact: %w", err)
+	}
+	return &sum, nil
 }
 
 // FullResult returns the complete in-memory campaign result of a done
