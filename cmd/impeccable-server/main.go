@@ -13,7 +13,7 @@
 //	                  [-shards N] [-max-cache N] [-state-dir DIR]
 //	                  [-snapshot-every D] [-segment-bytes N] [-inline-limit N]
 //	                  [-compact-every D] [-max-queued N] [-max-jobs N]
-//	                  [-lease-ttl D]
+//	                  [-lease-ttl D] [-tenant SPEC ...] [-preempt-after D]
 //
 // -workers=0 starts the server as a pure coordinator with zero
 // in-process workers: every campaign executes on remote
@@ -21,6 +21,22 @@
 // (POST /api/v1/worker/lease|heartbeat|complete). Workers that stop
 // heartbeating for -lease-ttl lose their job, which re-enters the
 // queue under its original ID and reruns byte-identically.
+//
+// Tenancy: submissions carry a tenant (body field or X-Tenant header;
+// absent = "default") and pending work is arbitrated per tenant by
+// weighted deficit round-robin, so one tenant's flood cannot starve
+// another's trickle. -tenant configures one tenant's limits and
+// repeats, e.g.
+//
+//	impeccable-server -tenant 'acme,weight=3,max-queued=100' \
+//	                  -tenant 'guest,weight=1,rate=2,burst=5,max-running=1' \
+//	                  -preempt-after 30s
+//
+// SPEC is name[,weight=N][,max-queued=N][,max-running=N][,rate=F][,burst=N];
+// unnamed tenants get weight 1 and the -max-queued bound. -preempt-after
+// arms preemption: a queued priority job starved that long may revoke
+// an over-share tenant's youngest remote lease (the revoked job
+// requeues and reruns byte-identically).
 //
 // Quickstart:
 //
@@ -49,11 +65,62 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"impeccable/internal/service"
 )
+
+// tenantFlags accumulates repeated -tenant specs into the service's
+// per-tenant limits table.
+type tenantFlags map[string]service.TenantLimits
+
+func (tf tenantFlags) String() string {
+	names := make([]string, 0, len(tf))
+	for name := range tf {
+		names = append(names, name)
+	}
+	return strings.Join(names, ",")
+}
+
+// Set parses one name[,weight=N][,max-queued=N][,max-running=N]
+// [,rate=F][,burst=N] spec.
+func (tf tenantFlags) Set(spec string) error {
+	parts := strings.Split(spec, ",")
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return fmt.Errorf("tenant spec %q: empty name", spec)
+	}
+	var lim service.TenantLimits
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("tenant spec %q: %q is not key=value", spec, kv)
+		}
+		var err error
+		switch key {
+		case "weight":
+			lim.Weight, err = strconv.Atoi(val)
+		case "max-queued":
+			lim.MaxQueued, err = strconv.Atoi(val)
+		case "max-running":
+			lim.MaxRunning, err = strconv.Atoi(val)
+		case "rate":
+			lim.SubmitPerSec, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			lim.SubmitBurst, err = strconv.Atoi(val)
+		default:
+			return fmt.Errorf("tenant spec %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return fmt.Errorf("tenant spec %q: bad %s: %v", spec, key, err)
+		}
+	}
+	tf[name] = lim
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -71,6 +138,9 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "remote-worker lease TTL; a worker silent this long loses its job (0 = 30s)")
 	accessLog := flag.Bool("access-log", false, "log one line per HTTP request (method, path, status, latency, request ID)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (do not enable on untrusted networks)")
+	tenants := tenantFlags{}
+	flag.Var(tenants, "tenant", "per-tenant limits, repeatable: name[,weight=N][,max-queued=N][,max-running=N][,rate=F][,burst=N]")
+	preemptAfter := flag.Duration("preempt-after", 0, "starved priority jobs may revoke an over-share tenant's youngest lease after waiting this long (0 = never preempt)")
 	flag.Parse()
 
 	var logf func(string, ...any)
@@ -91,6 +161,8 @@ func main() {
 		MaxQueued:       *maxQueued,
 		MaxJobRecords:   *maxJobs,
 		LeaseTTL:        *leaseTTL,
+		Tenants:         tenants,
+		PreemptAfter:    *preemptAfter,
 		Logf:            logf,
 	})
 	if err != nil {

@@ -149,11 +149,27 @@ type (
 	LeaseGrant = service.LeaseGrant
 	// WorkerResult is the outcome a remote worker posts for a leased job.
 	WorkerResult = service.WorkerResult
+	// TenantLimits configures one tenant's fair-share weight, queue and
+	// concurrency bounds, and submit rate (ServiceOptions.Tenants).
+	TenantLimits = service.TenantLimits
+	// RateLimitError is the typed rejection of an over-rate submission,
+	// carrying the tenant and the bucket's refill wait.
+	RateLimitError = service.RateLimitError
 )
 
-// ErrQueueFull is returned by Submit when ServiceOptions.MaxQueued
-// pending jobs are already waiting (HTTP surfaces it as 429).
+// DefaultTenant is the tenant legacy (tenant-less) submissions belong to.
+const DefaultTenant = service.DefaultTenant
+
+// ErrQueueFull is returned by Submit when the tenant's pending-queue
+// bound (TenantLimits.MaxQueued, defaulting to ServiceOptions.MaxQueued)
+// is already full (HTTP surfaces it as 429).
 var ErrQueueFull = service.ErrQueueFull
+
+// ErrRateLimited is returned by Submit when the tenant's token bucket
+// (TenantLimits.SubmitPerSec) is empty; errors.Is matches it against
+// the *RateLimitError carrying the wait (HTTP surfaces it as 429 with
+// Retry-After).
+var ErrRateLimited = service.ErrRateLimited
 
 // ErrLeaseLost is returned to a remote worker whose lease on a job is
 // no longer valid (expired, re-assigned or canceled); the worker must

@@ -26,11 +26,14 @@ var SciencePackages = []string{
 // ServiceLockOrder is the declared mutex nesting of the campaign
 // service, outermost first: the scheduler's table lock, then a single
 // job's lock, then the event bus's lock (which nests innermost so
-// publishing is safe from inside any transition).
+// publishing is safe from inside any transition). The tenant rate
+// limiter's lock is a leaf — admission control runs before the
+// scheduler is consulted and never holds another service lock.
 var ServiceLockOrder = []MutexRef{
 	{Type: "impeccable/internal/service.scheduler", Field: "mu"},
 	{Type: "impeccable/internal/service.job", Field: "mu"},
 	{Type: "impeccable/internal/service.eventBus", Field: "mu"},
+	{Type: "impeccable/internal/service.tenantLimiter", Field: "mu"},
 }
 
 // DefaultAnalyzers returns the project-configured suite, one analyzer

@@ -272,6 +272,10 @@ func foldEvent(ck *journalEvent, ev journalEvent) {
 		ck.Submitted = &t
 		ck.Req, ck.ReqRef = ev.Req, ev.ReqRef
 		ck.RID = ev.RID
+		// Schema v2: the owner and priority survive compaction so a
+		// restart rebuilds per-tenant records from checkpoints alone.
+		ck.Tenant = ev.Tenant
+		ck.Priority = ev.Priority
 	case evStarted, evLeased:
 		t := ev.Time
 		ck.Started = &t

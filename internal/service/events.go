@@ -25,6 +25,9 @@ type JobEvent struct {
 	// event ID, so clients resume with Last-Event-ID after a drop.
 	Seq int64  `json:"seq"`
 	Job string `json:"job"`
+	// Tenant is the job's owner ("default" for legacy submissions), so
+	// a stream consumer can attribute events without a status lookup.
+	Tenant string `json:"tenant,omitempty"`
 	// Type is "state" for lifecycle transitions (terminal ones carry
 	// Error or Summary) and "progress" for stage/fraction updates.
 	Type     string    `json:"type"`

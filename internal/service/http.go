@@ -11,8 +11,9 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /api/v1/campaigns          submit a campaign (SubmitRequest JSON)
-//	GET    /api/v1/campaigns          list job snapshots (?state= ?limit= ?after=)
+//	POST   /api/v1/campaigns          submit a campaign (SubmitRequest JSON; X-Tenant
+//	                                  header names the tenant when the body doesn't)
+//	GET    /api/v1/campaigns          list job snapshots (?state= ?tenant= ?limit= ?after=)
 //	GET    /api/v1/campaigns/{id}     one job's status
 //	DELETE /api/v1/campaigns/{id}     cancel a job
 //	GET    /api/v1/campaigns/{id}/result   completed job's summary
@@ -68,18 +69,39 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 // maxSubmitBody bounds the request body; a SubmitRequest is tiny.
 const maxSubmitBody = 1 << 16
 
+// tenantHeader is the identity fallback for clients that set a header
+// instead of the body field (proxies and gateways commonly inject it).
+// The body field wins when both are present.
+const tenantHeader = "X-Tenant"
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if !decodeBody(w, r, maxSubmitBody, strictFields, &req) {
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get(tenantHeader)
+	}
 	id, err := s.SubmitCtx(r.Context(), req)
 	if err != nil {
-		// A full pending queue is backpressure, not a bad request: 429
-		// tells well-behaved tenants to retry later, with the wait
-		// derived from how fast the backlog is actually draining.
+		// A full tenant queue is backpressure, not a bad request: 429
+		// tells the tenant to retry later, with the wait derived from
+		// how fast its own backlog is draining against its fair share.
 		if errors.Is(err, ErrQueueFull) {
-			w.Header().Set("Retry-After", strconv.Itoa(s.sched.retryAfterSeconds()))
+			w.Header().Set("Retry-After",
+				strconv.Itoa(s.sched.retryAfterSecondsFor(normalizeTenant(req.Tenant))))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		// A drained token bucket is the tenant's own submit rate, not
+		// queue pressure: the wait comes from the bucket's refill rate.
+		var rl *RateLimitError
+		if errors.As(err, &rl) {
+			secs := int((rl.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeError(w, http.StatusTooManyRequests, err.Error())
 			return
 		}
@@ -115,6 +137,13 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q.Limit = n
+	}
+	if v := r.URL.Query().Get("tenant"); v != "" {
+		if err := validateTenant(v); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		q.Tenant = v
 	}
 	q.After = r.URL.Query().Get("after")
 	writeJSON(w, http.StatusOK, s.JobsFiltered(q))

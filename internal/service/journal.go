@@ -135,6 +135,14 @@ type journalEvent struct {
 	// (submits and cancels), linking the durable record back to access
 	// logs and client traces.
 	RID string `json:"rid,omitempty"`
+	// Tenant and Priority ride on submitted and checkpoint events
+	// (schema v2): the normalized owner and priority class, so fair-
+	// share state and per-tenant records replay across restarts. Both
+	// are omitempty — legacy (v1) events carry neither, their hash
+	// chains re-derive unchanged, and replay folds them into the
+	// default tenant.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 
 	// Hash is the event's provenance chain hash: SHA-256 over the
 	// previous event's hash and this event's canonical JSON (with Hash
@@ -716,6 +724,15 @@ func replayJournal(events []journalEvent, blobs blob.Store) (jobs []*job, maxID 
 			maxID = n
 		}
 	}
+	// tenantOf resolves a replayed job's owner: the journaled tenant
+	// field (schema v2), else the tenant inside the retained request,
+	// else the default tenant (legacy v1 events carry neither).
+	tenantOf := func(ev *journalEvent, req *SubmitRequest) string {
+		if ev.Tenant != "" {
+			return ev.Tenant
+		}
+		return normalizeTenant(req.Tenant)
+	}
 	resolveReq := func(ev *journalEvent) *SubmitRequest {
 		if ev.Req != nil {
 			return ev.Req
@@ -742,6 +759,7 @@ func replayJournal(events []journalEvent, blobs blob.Store) (jobs []*job, maxID 
 			}
 			j := &job{
 				id:          ev.Job,
+				tenant:      tenantOf(&ev, req),
 				req:         *req,
 				state:       ev.State,
 				finished:    ev.Time,
@@ -777,6 +795,7 @@ func replayJournal(events []journalEvent, blobs blob.Store) (jobs []*job, maxID 
 			}
 			note(&job{
 				id:        ev.Job,
+				tenant:    tenantOf(&ev, req),
 				req:       *req,
 				state:     StateQueued,
 				submitted: ev.Time,

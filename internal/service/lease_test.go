@@ -265,7 +265,7 @@ func TestExpiryRequeueOrder(t *testing.T) {
 	s.expireLeases(now.Add(2 * time.Second))
 	s.mu.Lock()
 	var got []string
-	for _, j := range s.pending {
+	for _, j := range s.tq(DefaultTenant).pending {
 		got = append(got, j.id)
 	}
 	s.mu.Unlock()
@@ -412,10 +412,17 @@ func TestRetryAfterDerivation(t *testing.T) {
 	// test stuffs into pending.
 	s := remoteScheduler(time.Hour, nil)
 	s.workerSlots = 2
+	// stuffPending swaps placeholder jobs into the default tenant's
+	// queue; pendingN is what the formula reads.
+	stuffPending := func(sc *scheduler, n int) {
+		sc.mu.Lock()
+		tq := sc.tq(DefaultTenant)
+		tq.pending = make([]*job, n)
+		sc.pendingN = n
+		sc.mu.Unlock()
+	}
 	defer func() {
-		s.mu.Lock()
-		s.pending = nil
-		s.mu.Unlock()
+		stuffPending(s, 0)
 		s.shutdown()
 	}()
 	// Idle queue: minimum hint.
@@ -424,31 +431,23 @@ func TestRetryAfterDerivation(t *testing.T) {
 	}
 	// 6 pending × 10s mean / 2 workers = 30s.
 	s.recordDuration(10 * time.Second)
-	s.mu.Lock()
-	s.pending = make([]*job, 6)
-	s.mu.Unlock()
+	stuffPending(s, 6)
 	if got := s.retryAfterSeconds(); got != 30 {
 		t.Fatalf("Retry-After = %d, want 30", got)
 	}
 	// A huge backlog clamps at 60.
-	s.mu.Lock()
-	s.pending = make([]*job, 1000)
-	s.mu.Unlock()
+	stuffPending(s, 1000)
 	if got := s.retryAfterSeconds(); got != 60 {
 		t.Fatalf("clamped Retry-After = %d, want 60", got)
 	}
 	// No duration samples yet: the mean defaults to 5s.
 	s2 := remoteScheduler(time.Hour, nil)
 	defer s2.shutdown()
-	s2.mu.Lock()
-	s2.pending = make([]*job, 2)
-	s2.mu.Unlock()
+	stuffPending(s2, 2)
 	if got := s2.retryAfterSeconds(); got != 10 {
 		t.Fatalf("default-mean Retry-After = %d, want 10 (2 × 5s / 1 slot)", got)
 	}
-	s2.mu.Lock()
-	s2.pending = nil
-	s2.mu.Unlock()
+	stuffPending(s2, 0)
 }
 
 // TestReplayJournalLeases drives the reducer over lease histories: a

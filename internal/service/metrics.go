@@ -71,6 +71,12 @@ type metrics struct {
 	funnelWallSeconds  *obs.Counter
 	funnelRuns         *obs.Counter
 
+	tenantQueueDepth    *obs.GaugeVec   // tenant
+	tenantAdmissions    *obs.CounterVec // tenant
+	tenantRejections    *obs.CounterVec // tenant, reason
+	tenantPreemptions   *obs.CounterVec // tenant (the victim)
+	tenantFunnelSeconds *obs.CounterVec // tenant
+
 	httpRequests *obs.CounterVec   // route, method, code
 	httpLatency  *obs.HistogramVec // route
 	httpInFlight *obs.Gauge
@@ -163,6 +169,17 @@ func newMetrics() *metrics {
 	m.funnelRuns = reg.Counter("impeccable_funnel_runs_total",
 		"Campaigns whose funnel timings have been aggregated.")
 
+	m.tenantQueueDepth = reg.GaugeVec("impeccable_tenant_queue_depth",
+		"Jobs waiting in each tenant's pending queue.", "tenant")
+	m.tenantAdmissions = reg.CounterVec("impeccable_tenant_admissions_total",
+		"Submissions accepted into the queue, by tenant.", "tenant")
+	m.tenantRejections = reg.CounterVec("impeccable_tenant_rejections_total",
+		"Submissions rejected with 429, by tenant and reason (queue_full, rate_limited).", "tenant", "reason")
+	m.tenantPreemptions = reg.CounterVec("impeccable_tenant_preemptions_total",
+		"Leased jobs revoked by the preemption arbiter, by victim tenant.", "tenant")
+	m.tenantFunnelSeconds = reg.CounterVec("impeccable_tenant_funnel_seconds_total",
+		"Campaign wall-clock seconds consumed per tenant across completed campaigns.", "tenant")
+
 	m.httpRequests = reg.CounterVec("impeccable_http_requests_total",
 		"HTTP requests served, by route pattern, method and status code.", "route", "method", "code")
 	m.httpLatency = reg.HistogramVec("impeccable_http_request_seconds",
@@ -178,10 +195,17 @@ func newMetrics() *metrics {
 	return m
 }
 
+// Rejection reasons for the tenant rejection counter.
+const (
+	rejectQueueFull   = "queue_full"
+	rejectRateLimited = "rate_limited"
+)
+
 // observeFunnel folds one completed campaign's stage windows into the
 // cluster-wide per-stage seconds — the coordinator's own runs and
-// remote workers' runs land in the same families.
-func (m *metrics) observeFunnel(timings []campaign.StageTiming, wallSeconds float64) {
+// remote workers' runs land in the same families — and charges the
+// wall-clock to the owning tenant's series.
+func (m *metrics) observeFunnel(tenant string, timings []campaign.StageTiming, wallSeconds float64) {
 	if len(timings) == 0 && wallSeconds == 0 {
 		return
 	}
@@ -190,6 +214,7 @@ func (m *metrics) observeFunnel(timings []campaign.StageTiming, wallSeconds floa
 	}
 	m.funnelWallSeconds.Add(wallSeconds)
 	m.funnelRuns.Inc()
+	m.tenantFunnelSeconds.With(normalizeTenant(tenant)).Add(wallSeconds)
 }
 
 // addWorkerCacheStats folds the cache-stat deltas a remote worker
@@ -222,6 +247,9 @@ func (s *Service) registerCollectors() {
 			m.jobsByState.With(string(st)).Set(float64(counts[i]))
 		}
 		m.queueDepth.Set(float64(s.sched.queueDepth()))
+		for tenant, depth := range s.sched.tenantQueueDepths() {
+			m.tenantQueueDepth.With(tenant).Set(float64(depth))
+		}
 		m.leasesActive.Set(float64(s.sched.activeLeases()))
 		m.retryAfter.Set(float64(s.sched.retryAfterSeconds()))
 		mirrorCache(m, "score", s.scores.ShardStats())

@@ -55,8 +55,11 @@ func (s JobState) Terminal() bool {
 
 // job is the scheduler's record of one submitted campaign.
 type job struct {
-	id  string
-	req SubmitRequest
+	id string
+	// tenant is the normalized owner (never empty: legacy submissions
+	// land on DefaultTenant). Immutable after submit/restore.
+	tenant string
+	req    SubmitRequest
 
 	mu        sync.Mutex
 	state     JobState
@@ -81,6 +84,12 @@ type job struct {
 	// overlaps one must not suppress its terminal journal event — the
 	// user's cancel survives restarts.
 	userCanceled bool
+	// queuedAt is when the job last entered its tenant's pending queue
+	// (submit, lease-expiry requeue, or preemption). Guarded by
+	// scheduler.mu, not j.mu: every writer and the preemption arbiter
+	// (which reads it to decide whether the queue head is starved)
+	// already hold the scheduler lock.
+	queuedAt time.Time
 
 	// Lease bookkeeping: which remote worker holds the job, until when,
 	// and the TTL each heartbeat extends the lease by. leaseWorker is
@@ -109,6 +118,8 @@ func (j *job) requestCancel() {
 func (j *job) snapshotLocked() JobSnapshot {
 	s := JobSnapshot{
 		ID:        j.id,
+		Tenant:    j.tenant,
+		Priority:  j.req.Priority,
 		Target:    j.req.Target,
 		State:     j.state,
 		Stage:     j.stage,
@@ -141,7 +152,14 @@ func (j *job) snapshotLocked() JobSnapshot {
 
 // JobSnapshot is the externally visible status of a job.
 type JobSnapshot struct {
-	ID        string     `json:"id"`
+	ID string `json:"id"`
+	// Tenant is the submission's owner; "default" for legacy
+	// tenant-less submissions.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the submission's priority class (0 = normal); a
+	// starved tenant whose queue head carries Priority > 0 may preempt
+	// an over-share tenant's leased job.
+	Priority  int        `json:"priority,omitempty"`
 	Target    string     `json:"target"`
 	State     JobState   `json:"state"`
 	Stage     string     `json:"stage,omitempty"`
@@ -203,35 +221,53 @@ const durSamples = 32
 // schedConfig bundles the scheduler's construction parameters.
 type schedConfig struct {
 	workers     int
-	remoteOnly  bool                       // no in-process workers: jobs run only via leases
-	leaseTTL    time.Duration              // default remote lease TTL; 0 = defaultLeaseTTL
-	maxQueued   int                        // pending-queue bound; 0 = unbounded
-	maxRecords  int                        // retained terminal jobs; 0 = unbounded
-	record      func(journalEvent) error   // journal appender; nil = in-memory only
-	recordBatch func([]journalEvent) error // many events, one fsync; nil = record per event
-	onTerminal  func()                     // runs after each job's terminal event
-	met         *metrics                   // instrument sink; nil = private registry
-	bus         *eventBus                  // lifecycle event fan-out; nil = private bus
+	remoteOnly  bool          // no in-process workers: jobs run only via leases
+	leaseTTL    time.Duration // default remote lease TTL; 0 = defaultLeaseTTL
+	maxQueued   int           // per-tenant pending bound for tenants without their own; 0 = unbounded
+	maxRecords  int           // retained terminal jobs; 0 = unbounded
+	// limits resolves a tenant's configured limits; nil means every
+	// tenant gets the defaults (weight 1, maxQueued above).
+	limits func(tenant string) TenantLimits
+	// preemptAfter arms preemption: a starved tenant whose queue head
+	// carries Priority > 0 and has waited this long may revoke an
+	// over-share tenant's youngest lease. 0 disables preemption.
+	preemptAfter time.Duration
+	record       func(journalEvent) error   // journal appender; nil = in-memory only
+	recordBatch  func([]journalEvent) error // many events, one fsync; nil = record per event
+	onTerminal   func()                     // runs after each job's terminal event
+	met          *metrics                   // instrument sink; nil = private registry
+	bus          *eventBus                  // lifecycle event fan-out; nil = private bus
 }
 
 // scheduler runs queued jobs over a bounded worker pool and hands jobs
-// to remote workers under TTL leases.
+// to remote workers under TTL leases. Pending work lives in per-tenant
+// queues arbitrated by deficit round-robin, so one tenant's flood
+// cannot starve another's trickle.
 type scheduler struct {
-	run         func(*job) // executes one job's campaign
-	workerSlots int        // in-process worker goroutines
-	leaseTTL    time.Duration
-	maxQueued   int
-	maxRecords  int
-	record      func(journalEvent) error
-	recordBatch func([]journalEvent) error
-	onTerminal  func()
-	met         *metrics
-	bus         *eventBus
+	run          func(*job) // executes one job's campaign
+	workerSlots  int        // in-process worker goroutines
+	leaseTTL     time.Duration
+	maxQueued    int // per-tenant default pending bound
+	maxRecords   int
+	limits       func(tenant string) TenantLimits
+	preemptAfter time.Duration
+	record       func(journalEvent) error
+	recordBatch  func([]journalEvent) error
+	onTerminal   func()
+	met          *metrics
+	bus          *eventBus
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string        // submission order, for listing
-	pending  []*job          // FIFO queue of jobs awaiting a worker
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing
+	// tenants holds each tenant's pending queue, DRR deficit and
+	// in-flight tally; ring fixes the arbiter's visit order (tenants in
+	// first-seen order — map iteration would be nondeterministic) and
+	// ringCur is the tenant the next dequeue considers first.
+	tenants  map[string]*tenantQueue
+	ring     []string
+	ringCur  int
+	pendingN int             // total pending jobs across all tenants
 	leases   map[string]*job // jobs currently out on a remote lease
 	nextID   int
 	closed   bool
@@ -278,20 +314,23 @@ func newScheduler(cfg schedConfig, run func(*job)) *scheduler {
 		bus = newEventBus(met)
 	}
 	s := &scheduler{
-		run:         run,
-		workerSlots: workers,
-		leaseTTL:    ttl,
-		maxQueued:   cfg.maxQueued,
-		maxRecords:  cfg.maxRecords,
-		record:      cfg.record,
-		recordBatch: cfg.recordBatch,
-		onTerminal:  cfg.onTerminal,
-		met:         met,
-		bus:         bus,
-		jobs:        make(map[string]*job),
-		leases:      make(map[string]*job),
-		wake:        make(chan struct{}, workers+1),
-		quit:        make(chan struct{}),
+		run:          run,
+		workerSlots:  workers,
+		leaseTTL:     ttl,
+		maxQueued:    cfg.maxQueued,
+		maxRecords:   cfg.maxRecords,
+		limits:       cfg.limits,
+		preemptAfter: cfg.preemptAfter,
+		record:       cfg.record,
+		recordBatch:  cfg.recordBatch,
+		onTerminal:   cfg.onTerminal,
+		met:          met,
+		bus:          bus,
+		jobs:         make(map[string]*job),
+		tenants:      make(map[string]*tenantQueue),
+		leases:       make(map[string]*job),
+		wake:         make(chan struct{}, workers+1),
+		quit:         make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -314,6 +353,7 @@ func (s *scheduler) countMove(from, to JobState) {
 func (s *scheduler) publishLocked(j *job, typ string, now time.Time) {
 	ev := JobEvent{
 		Job:      j.id,
+		Tenant:   j.tenant,
 		Type:     typ,
 		State:    j.state,
 		Stage:    j.stage,
@@ -343,11 +383,52 @@ func (s *scheduler) stateCounts() [numStates]int64 {
 	return out
 }
 
-// queueDepth reports the pending-queue length.
+// tq returns (creating on first use) a tenant's queue state; callers
+// hold s.mu. New tenants join the back of the DRR ring with their
+// configured (or default) weight and bounds.
+func (s *scheduler) tq(tenant string) *tenantQueue {
+	if q, ok := s.tenants[tenant]; ok {
+		return q
+	}
+	lim := s.limitsFor(tenant)
+	q := &tenantQueue{
+		name:       tenant,
+		weight:     lim.Weight,
+		maxQueued:  lim.MaxQueued,
+		maxRunning: lim.MaxRunning,
+	}
+	s.tenants[tenant] = q
+	s.ring = append(s.ring, tenant)
+	return q
+}
+
+// limitsFor resolves a tenant's effective limits against the
+// scheduler-wide defaults (weight 1, the shared MaxQueued bound).
+func (s *scheduler) limitsFor(tenant string) TenantLimits {
+	d := TenantLimits{Weight: 1, MaxQueued: s.maxQueued}
+	if s.limits != nil {
+		return s.limits(tenant).withDefaults(d)
+	}
+	return d
+}
+
+// queueDepth reports the pending-queue length across all tenants.
 func (s *scheduler) queueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pending)
+	return s.pendingN
+}
+
+// tenantQueueDepths snapshots each known tenant's pending depth — the
+// scrape-time source of the per-tenant queue-depth gauge.
+func (s *scheduler) tenantQueueDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.ring))
+	for _, name := range s.ring {
+		out[name] = len(s.tenants[name].pending)
+	}
+	return out
 }
 
 // activeLeases reports the jobs currently out on a remote lease.
@@ -368,25 +449,31 @@ func (s *scheduler) submit(req SubmitRequest, now time.Time) (string, error) {
 // journal, so an operator can walk from an access-log line to the
 // durable record of what it caused.
 func (s *scheduler) submitTraced(req SubmitRequest, now time.Time, rid string) (string, error) {
+	tenant := normalizeTenant(req.Tenant)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return "", ErrShuttingDown
 	}
-	if s.maxQueued > 0 && len(s.pending) >= s.maxQueued {
+	tq := s.tq(tenant)
+	if tq.maxQueued > 0 && len(tq.pending) >= tq.maxQueued {
+		s.met.tenantRejections.With(tenant, rejectQueueFull).Inc()
 		s.mu.Unlock()
-		return "", fmt.Errorf("%w (%d jobs pending, max %d)", ErrQueueFull, s.maxQueued, s.maxQueued)
+		return "", fmt.Errorf("%w (tenant %q has %d jobs pending, max %d)",
+			ErrQueueFull, tenant, tq.maxQueued, tq.maxQueued)
 	}
 	s.nextID++
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
+		tenant:    tenant,
 		req:       req,
 		state:     StateQueued,
 		submitted: now,
+		queuedAt:  now,
 		cancel:    make(chan struct{}),
 	}
 	if s.record != nil {
-		if err := s.record(journalEvent{Kind: evSubmitted, Job: j.id, Time: now, Req: &j.req, RID: rid}); err != nil {
+		if err := s.record(journalEvent{Kind: evSubmitted, Job: j.id, Time: now, Req: &j.req, RID: rid, Tenant: tenant, Priority: req.Priority}); err != nil {
 			s.nextID--
 			s.mu.Unlock()
 			return "", err
@@ -394,9 +481,11 @@ func (s *scheduler) submitTraced(req SubmitRequest, now time.Time, rid string) (
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.pending = append(s.pending, j)
+	tq.push(j)
+	s.pendingN++
 	s.stateN[stateIdx(StateQueued)].Add(1)
 	s.met.jobsSubmitted.Inc()
+	s.met.tenantAdmissions.With(tenant).Inc()
 	s.publishLocked(j, evTypeState, now)
 	s.mu.Unlock()
 	select {
@@ -421,6 +510,11 @@ func (s *scheduler) restore(jobs []*job, maxID int) {
 		if _, dup := s.jobs[j.id]; dup {
 			continue
 		}
+		if j.tenant == "" {
+			// Pre-tenancy journal events replay without a tenant; they
+			// belong to the default tenant, same as legacy live submits.
+			j.tenant = normalizeTenant(j.req.Tenant)
+		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.stateN[stateIdx(j.state)].Add(1)
@@ -430,8 +524,11 @@ func (s *scheduler) restore(jobs []*job, maxID int) {
 			j.leaseExpiry = now.Add(s.leaseTTL)
 			j.lastBeat = now
 			s.leases[j.id] = j
+			s.tq(j.tenant).inflight++
 		case !j.state.Terminal():
-			s.pending = append(s.pending, j)
+			j.queuedAt = now
+			s.tq(j.tenant).push(j)
+			s.pendingN++
 			requeued++
 		}
 		// Seed the restored job's event stream with its current state so
@@ -474,16 +571,56 @@ func (s *scheduler) worker() {
 	}
 }
 
-// pop dequeues the next runnable job, skipping jobs canceled while
-// queued. Returns nil when the queue is empty or a drain is under way
-// (a draining scheduler stops popping so queued work stays journaled
-// as pending and resumes after restart).
+// dequeueLocked is the deficit-round-robin arbiter both execution
+// paths (in-process pop, remote lease) pull through; callers hold
+// s.mu. Each tenant is visited in ring order; an eligible tenant with
+// no credit is granted its weight in job-slots and serves its queue
+// head, one job per call, until the credit runs out — so over
+// contended slots tenants are served proportionally to their weights,
+// and a tenant at its running-concurrency cap (or with an empty queue)
+// is skipped with its credit reset, never banking bandwidth it could
+// not use. Returns nil when no tenant can hand out work.
+func (s *scheduler) dequeueLocked() *job {
+	n := len(s.ring)
+	for scanned := 0; scanned < n; scanned++ {
+		tq := s.tenants[s.ring[s.ringCur]]
+		if !tq.eligible() {
+			tq.deficit = 0
+			s.ringCur = (s.ringCur + 1) % n
+			continue
+		}
+		if tq.deficit < 1 {
+			tq.deficit += tq.weight
+		}
+		j := tq.pending[0]
+		tq.pending = tq.pending[1:]
+		s.pendingN--
+		tq.deficit--
+		if len(tq.pending) == 0 {
+			tq.deficit = 0 // no banking credit across idle periods
+		}
+		if tq.deficit < 1 || !tq.eligible() {
+			s.ringCur = (s.ringCur + 1) % n
+		}
+		return j
+	}
+	return nil
+}
+
+// pop dequeues the next runnable job via the DRR arbiter, skipping
+// jobs canceled while queued (a rare race — cancels eagerly leave the
+// queue, but may overlap a concurrent dequeue). Returns nil when no
+// tenant has runnable work or a drain is under way (a draining
+// scheduler stops popping so queued work stays journaled as pending
+// and resumes after restart).
 func (s *scheduler) pop() *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !s.draining && len(s.pending) > 0 {
-		j := s.pending[0]
-		s.pending = s.pending[1:]
+	for !s.draining {
+		j := s.dequeueLocked()
+		if j == nil {
+			return nil
+		}
 		j.mu.Lock()
 		runnable := j.state == StateQueued
 		if runnable {
@@ -494,6 +631,7 @@ func (s *scheduler) pop() *job {
 		}
 		j.mu.Unlock()
 		if runnable {
+			s.tenants[j.tenant].inflight++
 			return j
 		}
 	}
@@ -539,6 +677,11 @@ func (s *scheduler) execute(j *job) {
 	s.markTerminal(j.state)
 	s.publishLocked(j, evTypeState, j.finished)
 	j.mu.Unlock()
+	s.mu.Lock()
+	if tq := s.tenants[j.tenant]; tq != nil {
+		tq.inflight--
+	}
+	s.mu.Unlock()
 	if dur > 0 {
 		s.recordDuration(dur)
 	}
@@ -587,9 +730,11 @@ func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*j
 		return nil, nil
 	}
 	var leased *job
-	for len(s.pending) > 0 {
-		j := s.pending[0]
-		s.pending = s.pending[1:]
+	for leased == nil {
+		j := s.dequeueLocked()
+		if j == nil {
+			return nil, nil
+		}
 		j.mu.Lock()
 		if j.state == StateQueued {
 			s.countMove(StateQueued, StateLeased)
@@ -603,14 +748,9 @@ func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*j
 			leased = j
 		}
 		j.mu.Unlock()
-		if leased != nil {
-			break
-		}
-	}
-	if leased == nil {
-		return nil, nil
 	}
 	s.leases[leased.id] = leased
+	s.tenants[leased.tenant].inflight++
 	if s.record != nil {
 		if err := s.record(journalEvent{Kind: evLeased, Job: leased.id, Time: now, Worker: workerID, Token: token}); err != nil {
 			// The grant was never acknowledged: put the job back where
@@ -622,9 +762,13 @@ func (s *scheduler) lease(workerID string, ttl time.Duration, now time.Time) (*j
 			leased.leaseToken = ""
 			leased.started = time.Time{}
 			leased.lastBeat = time.Time{}
+			leased.queuedAt = now
 			leased.mu.Unlock()
 			delete(s.leases, leased.id)
-			s.pending = append([]*job{leased}, s.pending...)
+			tq := s.tenants[leased.tenant]
+			tq.inflight--
+			tq.pushFront(leased)
+			s.pendingN++
 			s.met.leaseRequeues.Inc()
 			return nil, err
 		}
@@ -747,6 +891,9 @@ func (s *scheduler) completeRemote(workerID, token, jobID string, state JobState
 	j.mu.Unlock()
 	s.mu.Lock()
 	delete(s.leases, jobID)
+	if tq := s.tenants[j.tenant]; tq != nil {
+		tq.inflight--
+	}
 	s.mu.Unlock()
 	if dur > 0 {
 		s.recordDuration(dur)
@@ -774,7 +921,9 @@ func (s *scheduler) leaseLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.expireLeases(time.Now())
+			now := time.Now()
+			s.expireLeases(now)
+			s.maybePreempt(now)
 		case <-s.quit:
 			return
 		}
@@ -812,11 +961,18 @@ func (s *scheduler) expireLeases(now time.Time) {
 	}
 	// s.leases is a map, so simultaneously expired jobs (common after a
 	// restart re-arms every restored lease with the same TTL) arrive in
-	// random order; sort by job number so the requeue front stays in
-	// submission order.
+	// random order; sort by job number so each tenant's requeue front
+	// stays in submission order.
 	sort.Slice(expired, func(i, k int) bool { return jobIDAfter(expired[k].id, expired[i].id) })
-	if len(expired) > 0 {
-		s.pending = append(expired[:len(expired):len(expired)], s.pending...)
+	// pushFront reverses per tenant, so walk back-to-front: the lowest
+	// job number ends up at its tenant's queue head.
+	for i := len(expired) - 1; i >= 0; i-- {
+		j := expired[i]
+		j.queuedAt = now
+		tq := s.tq(j.tenant)
+		tq.pushFront(j)
+		tq.inflight--
+		s.pendingN++
 	}
 	var evs []journalEvent
 	for _, j := range expired {
@@ -844,6 +1000,150 @@ func (s *scheduler) expireLeases(now time.Time) {
 	}
 }
 
+// maybePreempt is the preemption arbiter, run on the lease watchdog's
+// tick: when a tenant is starved — its queue head carries Priority > 0,
+// has waited past preemptAfter, and the tenant's in-flight work is
+// below its weighted fair share — the most over-share tenant's
+// youngest leased job is revoked and requeued at the front of its
+// owner's queue. Revocation reuses the lease-expiry machinery (the
+// evicted worker's next heartbeat comes back ErrLeaseLost, the requeue
+// is journaled, Seed and LibOffset ride along in the retained
+// request), so the eventual rerun is byte-identical to an
+// uninterrupted run. Only leased jobs are preemptible: an in-process
+// campaign cannot be revoked mid-run without losing its slot's work.
+func (s *scheduler) maybePreempt(now time.Time) {
+	if s.preemptAfter <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.draining || s.closed || len(s.leases) == 0 || s.pendingN == 0 {
+		s.mu.Unlock()
+		return
+	}
+	slots := s.workerSlots + len(s.leases)
+	// Fair shares are computed over tenants with demand (pending or
+	// in-flight work); idle tenants do not dilute anyone's share.
+	totalW := 0
+	for _, name := range s.ring {
+		tq := s.tenants[name]
+		if len(tq.pending) > 0 || tq.inflight > 0 {
+			totalW += tq.weight
+		}
+	}
+	if totalW == 0 {
+		s.mu.Unlock()
+		return
+	}
+	var starved *tenantQueue
+	starvedIdx := -1
+	for i, name := range s.ring {
+		tq := s.tenants[name]
+		if len(tq.pending) == 0 {
+			continue
+		}
+		head := tq.pending[0]
+		if head.req.Priority <= 0 || now.Sub(head.queuedAt) < s.preemptAfter {
+			continue
+		}
+		if tq.maxRunning > 0 && tq.inflight >= tq.maxRunning {
+			continue // its own concurrency cap, not another tenant, is the bottleneck
+		}
+		if tq.inflight*totalW >= slots*tq.weight {
+			continue // already at or above fair share
+		}
+		if starved == nil || head.req.Priority > starved.pending[0].req.Priority {
+			starved, starvedIdx = tq, i
+		}
+	}
+	if starved == nil {
+		s.mu.Unlock()
+		return
+	}
+	// Victim: the tenant furthest above its weighted fair share that
+	// actually holds a lease. Ring order keeps tie-breaking stable.
+	var victim *tenantQueue
+	bestOver := 0
+	for _, name := range s.ring {
+		tq := s.tenants[name]
+		if tq == starved || tq.inflight == 0 {
+			continue
+		}
+		over := tq.inflight*totalW - slots*tq.weight
+		if over <= 0 || (victim != nil && over <= bestOver) {
+			continue
+		}
+		for _, l := range s.leases {
+			if l.tenant == tq.name {
+				victim, bestOver = tq, over
+				break
+			}
+		}
+	}
+	if victim == nil {
+		s.mu.Unlock()
+		return
+	}
+	// The youngest lease loses: it has the least progress to discard.
+	var prey *job
+	var preyStart time.Time
+	for _, l := range s.leases {
+		if l.tenant != victim.name {
+			continue
+		}
+		l.mu.Lock()
+		st, leased := l.started, l.state == StateLeased
+		l.mu.Unlock()
+		if !leased {
+			continue
+		}
+		if prey == nil || st.After(preyStart) ||
+			(st.Equal(preyStart) && jobIDAfter(l.id, prey.id)) {
+			prey, preyStart = l, st
+		}
+	}
+	if prey == nil {
+		s.mu.Unlock()
+		return
+	}
+	prey.mu.Lock()
+	if prey.state != StateLeased { // raced a completion; try again next tick
+		prey.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	s.countMove(StateLeased, StateQueued)
+	prey.state = StateQueued
+	prey.leaseWorker = ""
+	prey.leaseToken = ""
+	prey.started = time.Time{}
+	prey.lastBeat = time.Time{}
+	prey.stage = ""
+	prey.progress = 0
+	s.publishLocked(prey, evTypeState, now)
+	prey.mu.Unlock()
+	prey.queuedAt = now
+	delete(s.leases, prey.id)
+	victim.inflight--
+	victim.pushFront(prey)
+	s.pendingN++
+	// Point the arbiter at the starved tenant with enough credit for
+	// one grab, so the freed slot goes to the job that earned it.
+	s.ringCur = starvedIdx
+	if starved.deficit < 1 {
+		starved.deficit = 1
+	}
+	s.met.tenantPreemptions.With(victim.name).Inc()
+	s.met.leaseRequeues.Inc()
+	if s.record != nil {
+		_ = s.record(journalEvent{Kind: evRequeued, Job: prey.id, Time: now})
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
 // recordDuration feeds one finished run into the Retry-After window.
 func (s *scheduler) recordDuration(d time.Duration) {
 	if d <= 0 {
@@ -858,15 +1158,42 @@ func (s *scheduler) recordDuration(d time.Duration) {
 	s.mu.Unlock()
 }
 
-// retryAfterSeconds derives the 429 Retry-After hint from the current
-// backlog: queue depth × recent mean job duration, spread over the
-// available execution slots (in-process workers plus active remote
-// leases), clamped to [1s, 60s]. With no finished runs yet the mean
-// defaults to 5s.
+// retryAfterSeconds derives the global 429 Retry-After hint from the
+// current backlog: total queue depth × recent mean job duration,
+// spread over the available execution slots (in-process workers plus
+// active remote leases), clamped to [1s, 60s]. With no finished runs
+// yet the mean defaults to 5s.
 func (s *scheduler) retryAfterSeconds() int {
+	return s.retryAfterSecondsFor("")
+}
+
+// retryAfterSecondsFor is the tenant-derived Retry-After: the named
+// tenant's own backlog against its weighted share of the execution
+// slots, so a rejected flood tenant is told to wait for its queue, not
+// everyone's. The empty tenant is the global estimate (health probe,
+// Retry-After gauge).
+func (s *scheduler) retryAfterSecondsFor(tenant string) int {
 	s.mu.Lock()
-	depth := len(s.pending)
-	slots := s.workerSlots + len(s.leases)
+	depth := s.pendingN
+	slotShare := float64(s.workerSlots + len(s.leases))
+	if tenant != "" {
+		tq := s.tenants[tenant]
+		if tq == nil {
+			depth = 0
+		} else {
+			depth = len(tq.pending)
+			totalW := 0
+			for _, name := range s.ring {
+				q := s.tenants[name]
+				if len(q.pending) > 0 || q.inflight > 0 {
+					totalW += q.weight
+				}
+			}
+			if totalW > tq.weight {
+				slotShare = slotShare * float64(tq.weight) / float64(totalW)
+			}
+		}
+	}
 	var sum time.Duration
 	for i := 0; i < s.durN; i++ {
 		sum += s.durRing[i]
@@ -877,10 +1204,10 @@ func (s *scheduler) retryAfterSeconds() int {
 	if n > 0 {
 		mean = sum / time.Duration(n)
 	}
-	if slots < 1 {
-		slots = 1
+	if slotShare < 1 {
+		slotShare = 1
 	}
-	wait := time.Duration(depth) * mean / time.Duration(slots)
+	wait := time.Duration(float64(depth) * float64(mean) / slotShare)
 	secs := int((wait + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -972,18 +1299,20 @@ func (s *scheduler) cancelJobTraced(id, rid string) (JobSnapshot, error) {
 	if unlease {
 		s.mu.Lock()
 		delete(s.leases, j.id)
+		if tq := s.tenants[j.tenant]; tq != nil {
+			tq.inflight--
+		}
 		s.mu.Unlock()
 	}
 	if unqueue {
-		// Drop the tombstone from the pending queue so it stops holding
-		// a MaxQueued slot (pop would only skip it once a worker frees
-		// up, spuriously 429ing new submissions until then).
+		// Drop the tombstone from its tenant's pending queue eagerly so
+		// it stops holding a MaxQueued slot and stops inflating the
+		// queue-depth gauge and the derived Retry-After (pop would only
+		// skip it once a worker frees up, spuriously 429ing the tenant's
+		// new submissions until then).
 		s.mu.Lock()
-		for i, p := range s.pending {
-			if p == j {
-				s.pending = append(s.pending[:i], s.pending[i+1:]...)
-				break
-			}
+		if tq := s.tenants[j.tenant]; tq != nil && tq.remove(j) {
+			s.pendingN--
 		}
 		s.mu.Unlock()
 	}
@@ -1071,9 +1400,10 @@ func (s *scheduler) list() []JobSnapshot { return s.listFiltered(jobQuery{}) }
 
 // jobQuery bounds and filters a job listing.
 type jobQuery struct {
-	state JobState // only jobs in this state; "" = all
-	after string   // exclusive lower bound on job ID; "" = from the start
-	limit int      // max snapshots returned; <= 0 = unbounded
+	state  JobState // only jobs in this state; "" = all
+	tenant string   // only this tenant's jobs; "" = all
+	after  string   // exclusive lower bound on job ID; "" = from the start
+	limit  int      // max snapshots returned; <= 0 = unbounded
 }
 
 // listFiltered snapshots jobs in submission order under the query's
@@ -1104,6 +1434,9 @@ func (s *scheduler) listFiltered(q jobQuery) []JobSnapshot {
 		snap := j.snapshotLocked()
 		j.mu.Unlock()
 		if q.state != "" && snap.State != q.state {
+			continue
+		}
+		if q.tenant != "" && snap.Tenant != q.tenant {
 			continue
 		}
 		out = append(out, snap)

@@ -78,10 +78,30 @@ type Options struct {
 	// unbounded — with StateDir set the journal keeps full history
 	// regardless of pruning.
 	MaxJobRecords int
-	// MaxQueued bounds the pending queue: submissions beyond it fail
-	// with ErrQueueFull (HTTP 429), so one tenant cannot queue jobs
-	// until the server OOMs. 0 means unbounded.
+	// MaxQueued bounds each tenant's pending queue: a tenant's
+	// submissions beyond it fail with ErrQueueFull (HTTP 429), so one
+	// tenant cannot queue jobs until the server OOMs. Per tenant, not
+	// global — a flooding tenant filling its own bound cannot make the
+	// service 429 everyone else. 0 means unbounded. Tenants listed in
+	// Tenants may override it individually.
 	MaxQueued int
+	// Tenants configures named tenants' scheduling weights, queue and
+	// concurrency bounds, and submit rate limits. Tenants not listed
+	// here get DefaultTenantLimits (resolved against MaxQueued); nil
+	// means every tenant is default. Submissions without a tenant land
+	// on DefaultTenant ("default").
+	Tenants map[string]TenantLimits
+	// DefaultTenantLimits applies to tenants absent from Tenants, and
+	// fills the zero fields of those present. Its own zero fields fall
+	// back to weight 1, MaxQueued above, no concurrency cap, no rate
+	// limit.
+	DefaultTenantLimits TenantLimits
+	// PreemptAfter arms lease preemption: a starved tenant whose queue
+	// head carries Priority > 0 and has waited this long below its fair
+	// share may revoke the youngest leased job of the most over-share
+	// tenant (the job requeues and reruns byte-identically, like a
+	// lease expiry). 0 disables preemption.
+	PreemptAfter time.Duration
 	// RemoteOnly starts the service with zero in-process workers: the
 	// coordinator only queues, leases and records jobs, and every
 	// campaign executes on remote workers (cmd/impeccable-worker)
@@ -114,6 +134,7 @@ type Service struct {
 	started    time.Time
 	met        *metrics
 	logf       func(format string, args ...any)
+	limiter    *tenantLimiter // per-tenant submit token buckets
 
 	// Persistence (zero-valued when Options.StateDir is empty).
 	stateDir string
@@ -129,6 +150,17 @@ type Service struct {
 // SubmitRequest describes one campaign submission. Zero-valued fields
 // take the campaign defaults for the target.
 type SubmitRequest struct {
+	// Tenant names the submitting tenant for fair-share scheduling,
+	// quotas and rate limits; empty means DefaultTenant (the HTTP layer
+	// also accepts an X-Tenant header). Names are 1–64 chars of
+	// [A-Za-z0-9._-]. Scheduling metadata only: it never changes the
+	// campaign's scientific output.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the submission's priority class within its tenant
+	// (0 = normal, up to MaxPriority). Higher-priority jobs dequeue
+	// first within the tenant, and a starved tenant whose queue head
+	// carries Priority > 0 may trigger preemption.
+	Priority      int    `json:"priority,omitempty"`
 	Target        string `json:"target"` // receptor name, e.g. "PLPro"
 	LibrarySize   int    `json:"library_size,omitempty"`
 	TrainSize     int    `json:"train_size,omitempty"`
@@ -211,14 +243,33 @@ func Open(opts Options) (*Service, error) {
 	for _, t := range targets {
 		s.targets[t.Name] = t
 	}
+	// One resolver feeds both the scheduler (weights, queue and
+	// concurrency bounds) and the submit rate limiter, so a tenant's
+	// limits cannot skew between the two layers. The map is copied:
+	// callers mutating their Options after Open must not race the
+	// scheduler.
+	tenantCfg := make(map[string]TenantLimits, len(opts.Tenants))
+	for name, lim := range opts.Tenants {
+		tenantCfg[name] = lim
+	}
+	defaults := opts.DefaultTenantLimits
+	if defaults.MaxQueued == 0 {
+		defaults.MaxQueued = opts.MaxQueued
+	}
+	limitsFor := func(tenant string) TenantLimits {
+		return tenantCfg[tenant].withDefaults(defaults)
+	}
+	s.limiter = newTenantLimiter(limitsFor)
 	cfg := schedConfig{
-		workers:    workers,
-		remoteOnly: opts.RemoteOnly,
-		leaseTTL:   opts.LeaseTTL,
-		maxQueued:  opts.MaxQueued,
-		maxRecords: opts.MaxJobRecords,
-		met:        s.met,
-		bus:        newEventBus(s.met),
+		workers:      workers,
+		remoteOnly:   opts.RemoteOnly,
+		leaseTTL:     opts.LeaseTTL,
+		maxQueued:    opts.MaxQueued,
+		maxRecords:   opts.MaxJobRecords,
+		limits:       limitsFor,
+		preemptAfter: opts.PreemptAfter,
+		met:          s.met,
+		bus:          newEventBus(s.met),
 	}
 	var replayed []*job
 	var maxID int
@@ -342,6 +393,12 @@ func (s *Service) Submit(req SubmitRequest) (string, error) {
 // the submitted event so the durable record traces back to the call
 // that caused it.
 func (s *Service) SubmitCtx(ctx context.Context, req SubmitRequest) (string, error) {
+	if err := validateTenant(req.Tenant); err != nil {
+		return "", err
+	}
+	if req.Priority < 0 || req.Priority > MaxPriority {
+		return "", fmt.Errorf("service: priority %d out of range [0, %d]", req.Priority, MaxPriority)
+	}
 	if _, ok := s.targets[req.Target]; !ok {
 		return "", fmt.Errorf("service: unknown target %q (have %v)", req.Target, s.Targets())
 	}
@@ -365,7 +422,16 @@ func (s *Service) SubmitCtx(ctx context.Context, req SubmitRequest) (string, err
 	if req.TrainSize != 0 && req.TrainSize < 10 {
 		return "", fmt.Errorf("service: train_size %d too small (min 10)", req.TrainSize)
 	}
-	return s.sched.submitTraced(req, time.Now(), RequestIDFrom(ctx))
+	// Admission control, after validation (a malformed request must not
+	// burn a token) and before the scheduler (the limiter's mutex is
+	// never held together with the scheduler's).
+	now := time.Now()
+	tenant := normalizeTenant(req.Tenant)
+	if ok, wait := s.limiter.allow(tenant, now); !ok {
+		s.met.tenantRejections.With(tenant, rejectRateLimited).Inc()
+		return "", &RateLimitError{Tenant: tenant, RetryAfter: wait}
+	}
+	return s.sched.submitTraced(req, now, RequestIDFrom(ctx))
 }
 
 // BaseConfig translates a submission into the campaign config knobs
@@ -456,7 +522,7 @@ func (s *Service) runJob(j *job) {
 	}
 	j.mu.Unlock()
 	if err == nil && res != nil {
-		s.met.observeFunnel(res.Funnel.Timings, res.Funnel.WallSeconds)
+		s.met.observeFunnel(j.tenant, res.Funnel.Timings, res.Funnel.WallSeconds)
 	}
 	s.trimResults()
 }
@@ -575,6 +641,13 @@ func (s *Service) Complete(workerID, token, jobID string, res WorkerResult) erro
 	case res.Summary == nil:
 		return fmt.Errorf("service: complete for job %s carries no summary, error or cancel", jobID)
 	}
+	// Resolve the job's tenant before completing: the completion itself
+	// may prune the record (MaxJobRecords). The field is immutable after
+	// submit, so the unlocked read is safe.
+	tenant := DefaultTenant
+	if j, ok := s.sched.get(jobID); ok {
+		tenant = j.tenant
+	}
 	if err := s.sched.completeRemote(workerID, token, jobID, state, res.Error, res.Summary, time.Now()); err != nil {
 		return err
 	}
@@ -591,7 +664,7 @@ func (s *Service) Complete(workerID, token, jobID string, res WorkerResult) erro
 		} else if res.Summary != nil {
 			timings, wall = res.Summary.Funnel.Timings, res.Summary.Funnel.WallSeconds
 		}
-		s.met.observeFunnel(timings, wall)
+		s.met.observeFunnel(tenant, timings, wall)
 	}
 	// The per-terminal checkpoint runs here, after the merge
 	// (completeRemote deliberately skips onTerminal): a checkpoint
@@ -622,15 +695,16 @@ func (s *Service) Jobs() []JobSnapshot { return s.sched.list() }
 
 // JobQuery bounds and filters a Jobs listing.
 type JobQuery struct {
-	State JobState // only jobs in this state; "" = all
-	After string   // exclusive job-ID cursor (pagination); "" = from the start
-	Limit int      // max snapshots returned; <= 0 = unbounded
+	State  JobState // only jobs in this state; "" = all
+	Tenant string   // only this tenant's jobs; "" = all
+	After  string   // exclusive job-ID cursor (pagination); "" = from the start
+	Limit  int      // max snapshots returned; <= 0 = unbounded
 }
 
 // JobsFiltered lists jobs in submission order under the query's
 // bounds; always returns a non-nil slice.
 func (s *Service) JobsFiltered(q JobQuery) []JobSnapshot {
-	return s.sched.listFiltered(jobQuery{state: q.State, after: q.After, limit: q.Limit})
+	return s.sched.listFiltered(jobQuery{state: q.State, tenant: q.Tenant, after: q.After, limit: q.Limit})
 }
 
 // Cancel requests cancellation of a job; false if the ID is unknown

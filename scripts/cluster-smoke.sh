@@ -4,10 +4,13 @@
 # (-workers=0 -state-dir), two impeccable-worker processes, submits
 # three campaigns, kills one worker with SIGKILL mid-run, and asserts
 # every job still reaches "done" (the killed worker's job re-enters
-# the queue via lease expiry and reruns on the survivor). Along the
-# way it scrapes /metrics — mid-run and again after the kill — runs
-# each scrape through metrics-lint (the 0.0.4 grammar checker), and
-# fails unless lease_expiries_total shows the revoked lease.
+# the queue via lease expiry and reruns on the survivor). A second
+# scenario floods one tenant and asserts the surviving worker still
+# serves a light tenant's job fairly (DRR), with the tenant-labeled
+# metric families on /metrics. Along the way it scrapes /metrics —
+# mid-run, after the kill, and after the flood — runs each scrape
+# through metrics-lint (the 0.0.4 grammar checker), and fails unless
+# lease_expiries_total shows the revoked lease.
 #
 # Environment:
 #   STATE_DIR   coordinator state dir (default ./cluster-state);
@@ -53,7 +56,8 @@ metric_value() {
 echo "== starting coordinator (zero in-process workers)"
 mkdir -p "$STATE_DIR"
 "$BIN/impeccable-server" -addr "$ADDR" -workers 0 -state-dir "$STATE_DIR" \
-  -lease-ttl 3s >"$STATE_DIR/coordinator.log" 2>&1 &
+  -lease-ttl 3s -tenant 'flood,weight=1' -tenant 'light,weight=1' \
+  -preempt-after 30s >"$STATE_DIR/coordinator.log" 2>&1 &
 PIDS+=($!)
 
 for _ in $(seq 1 50); do
@@ -132,7 +136,63 @@ curl -s "$BASE/api/v1/campaigns" | jq '[.[] | {id, state, worker}]'
 curl -s "$BASE/healthz" | jq .
 scrape_metrics final
 
+echo "== two-tenant flood: 5 jobs from 'flood', then 1 from 'light'"
+# Only worker 2 survives, so grants are strictly sequential: DRR must
+# interleave the light tenant's single job with the flood instead of
+# draining the flood's backlog first.
+for seed in 11 12 13 14 15; do
+  curl -sf -X POST "$BASE/api/v1/campaigns" -d '{
+    "target": "PLPro", "tenant": "flood", "library_size": 300,
+    "train_size": 60, "cg_count": 3, "top_compounds": 2,
+    "outliers_per": 2, "seed": '"$seed"', "fast_protocols": true
+  }' >/dev/null
+done
+# The light tenant rides the X-Tenant header, the legacy body untouched.
+curl -sf -X POST "$BASE/api/v1/campaigns" -H "X-Tenant: light" -d '{
+  "target": "PLPro", "priority": 1, "library_size": 300, "train_size": 60,
+  "cg_count": 3, "top_compounds": 2, "outliers_per": 2,
+  "seed": 20, "fast_protocols": true
+}' >/dev/null
+
+echo "== waiting for the light tenant's job"
+deadline=$(( $(date +%s) + 600 ))
+while :; do
+  light_done=$(curl -sf "$BASE/api/v1/campaigns?tenant=light&state=done" | jq length)
+  if [ "$light_done" -eq 1 ]; then break; fi
+  [ "$(date +%s)" -lt "$deadline" ] || { echo "light tenant starved"; curl -s "$BASE/api/v1/campaigns" | jq .; exit 1; }
+  sleep 1
+done
+flood_done=$(curl -sf "$BASE/api/v1/campaigns?tenant=flood&state=done" | jq length)
+echo "   light tenant done with $flood_done/5 flood jobs finished"
+# Fairness: the light job must not have waited behind the whole flood.
+if [ "$flood_done" -gt 2 ]; then
+  echo "DRR failed: $flood_done flood jobs finished before the light tenant's one"
+  exit 1
+fi
+
+echo "== waiting for the flood to drain"
+while :; do
+  flood_done=$(curl -sf "$BASE/api/v1/campaigns?tenant=flood&state=done" | jq length)
+  if [ "$flood_done" -eq 5 ]; then break; fi
+  [ "$(date +%s)" -lt "$deadline" ] || { echo "flood never drained"; exit 1; }
+  sleep 2
+done
+
+echo "== scraping /metrics after the flood (tenant families)"
+scrape_metrics tenants
+for series in \
+  'impeccable_tenant_admissions_total{tenant="flood"}' \
+  'impeccable_tenant_admissions_total{tenant="light"}' \
+  'impeccable_tenant_queue_depth{tenant="flood"}' \
+  'impeccable_tenant_funnel_seconds_total{tenant="light"}'; do
+  grep -qF "$series" "$STATE_DIR/metrics-tenants.prom" \
+    || { echo "series $series missing from /metrics"; exit 1; }
+done
+flood_admitted=$(metric_value "$STATE_DIR/metrics-tenants.prom" 'impeccable_tenant_admissions_total{tenant="flood"}')
+[ "${flood_admitted%.*}" -eq 5 ] || { echo "flood admissions = $flood_admitted, want 5"; exit 1; }
+
 # Every job completed on a surviving worker even though one worker was
-# SIGKILLed mid-run: the lease protocol did its job, and /metrics told
-# the story as it happened.
+# SIGKILLed mid-run, and a flooding tenant never starved a light one:
+# the lease protocol and the DRR arbiter did their jobs, and /metrics
+# told the story as it happened.
 echo "cluster-smoke OK"
